@@ -1,0 +1,66 @@
+//! Ablation: kernel launch overhead and host-sequential cost.
+//!
+//! DESIGN.md calls out that the gap between leaf parallelism and
+//! block parallelism in Fig. 5 comes from the per-tree host work plus the
+//! fixed launch overhead. This bench re-runs the Fig. 5 measurement at
+//! 4096 threads under (a) the calibrated cost model, (b) zero launch
+//! overhead, (c) zero host tree-op cost, (d) both zero — showing how much
+//! each component costs every scheme.
+
+use pmcts_bench::midgame_position;
+use pmcts_core::cost::CpuCostModel;
+use pmcts_core::prelude::*;
+use pmcts_util::SimTime;
+
+fn run(label: &str, spec: DeviceSpec, cpu: CpuCostModel) {
+    let position = midgame_position(7, 20);
+    let device = Device::new(spec);
+    let cfg = MctsConfig::default().with_seed(7).with_cpu_cost(cpu);
+    let budget = SearchBudget::Iterations(6);
+
+    let leaf = LeafParallelSearcher::<Reversi>::new(
+        cfg.clone(),
+        device.clone(),
+        LaunchConfig::new(64, 64),
+    )
+    .search(position, budget);
+    let block32 = BlockParallelSearcher::<Reversi>::new(
+        cfg.clone(),
+        device.clone(),
+        LaunchConfig::new(128, 32),
+    )
+    .search(position, budget);
+    let block128 = BlockParallelSearcher::<Reversi>::new(cfg, device, LaunchConfig::new(32, 128))
+        .search(position, budget);
+    println!(
+        "{label:<34}  {:>12.0}  {:>12.0}  {:>12.0}",
+        leaf.sims_per_second(),
+        block32.sims_per_second(),
+        block128.sims_per_second()
+    );
+}
+
+fn main() {
+    println!("# ablation_overhead: virtual sims/s at 4096 threads under cost-model ablations");
+    println!(
+        "{:<34}  {:>12}  {:>12}  {:>12}",
+        "model", "leaf 64", "block 32", "block 128"
+    );
+
+    let spec = DeviceSpec::tesla_c2050();
+    let cpu = CpuCostModel::xeon_x5670();
+    run("calibrated", spec.clone(), cpu);
+
+    let mut no_launch = spec.clone();
+    no_launch.launch_overhead = SimTime::ZERO;
+    no_launch.transfer_latency = SimTime::ZERO;
+    run("no launch/transfer overhead", no_launch.clone(), cpu);
+
+    let mut free_host = cpu;
+    free_host.tree_op_base = SimTime::ZERO;
+    free_host.tree_op_per_depth = SimTime::ZERO;
+    free_host.launch_prep = SimTime::ZERO;
+    run("free host tree ops", spec, free_host);
+
+    run("both free", no_launch, free_host);
+}

@@ -1,0 +1,65 @@
+//! Ablation: tree reuse between moves (the `PersistentSearcher` extension).
+//!
+//! Plays sequential MCTS with tree reuse against cold-start sequential
+//! MCTS at equal iteration budgets, and reports the inherited-simulation
+//! fraction plus the head-to-head result. Expected: reuse inherits a
+//! sizeable fraction of the previous tree and wins more than half the
+//! games at equal budget.
+
+use pmcts_core::arena::MatchSeries;
+use pmcts_core::prelude::*;
+
+fn main() {
+    let games = 16u64;
+    println!("# ablation_reuse: tree reuse vs cold start, {games} games per budget");
+    println!("{:>12}  {:>9}  {:>13}", "iters/move", "win ratio", "95% CI");
+    for iters in [100u64, 400, 1600] {
+        let budget = SearchBudget::Iterations(iters);
+        let result = MatchSeries::<Reversi>::run(
+            games,
+            |g| {
+                Box::new(MctsPlayer::new(
+                    PersistentSearcher::<Reversi>::new(MctsConfig::default().with_seed(2000 + g)),
+                    budget,
+                ))
+            },
+            |g| {
+                Box::new(MctsPlayer::new(
+                    SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(3000 + g)),
+                    budget,
+                ))
+            },
+        );
+        let (lo, hi) = result.winloss.wilson95();
+        println!(
+            "{iters:>12}  {:>9.3}  {lo:>5.2}-{hi:<5.2}",
+            result.win_ratio()
+        );
+    }
+
+    // How much does reuse actually inherit over a real game?
+    let mut searcher = PersistentSearcher::<Reversi>::new(MctsConfig::default().with_seed(1));
+    let mut opponent = SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(2));
+    let mut state = Reversi::initial();
+    let mut inherited = Vec::new();
+    while !pmcts_games::Game::is_terminal(&state) {
+        let report = match pmcts_games::Game::to_move(&state) {
+            Player::P1 => {
+                let r = searcher.search(state, SearchBudget::Iterations(400));
+                inherited.push(searcher.last_reused_visits());
+                r
+            }
+            Player::P2 => opponent.search(state, SearchBudget::Iterations(400)),
+        };
+        match report.best_move {
+            Some(mv) => pmcts_games::Game::apply(&mut state, mv),
+            None => break,
+        }
+    }
+    let n = inherited.len().max(1) as u64;
+    println!(
+        "\nmean inherited simulations per move: {:.0} of 400 budgeted ({} moves)",
+        inherited.iter().sum::<u64>() as f64 / n as f64,
+        inherited.len()
+    );
+}

@@ -1,0 +1,48 @@
+//! Ablation: UCB exploration constant `C` (paper §II.1 — "a parameter to
+//! be adjusted").
+//!
+//! Plays sequential-MCTS(C) against sequential-MCTS(√2) at a fixed
+//! iteration budget and reports the win ratio per C. Expected: a broad
+//! plateau around C ∈ [0.7, 2]; very small C (pure exploitation) and very
+//! large C (pure exploration) lose.
+//!
+//! Runs under `cargo bench` (plain harness, prints a table; virtual-time
+//! metrics make Criterion's wall-clock statistics meaningless here).
+
+use pmcts_core::arena::MatchSeries;
+use pmcts_core::prelude::*;
+
+fn main() {
+    // `cargo bench` passes --bench; ignore argv entirely.
+    let games = 12u64;
+    let budget = SearchBudget::Iterations(400);
+    let seed = 0xAB1A_u64;
+
+    println!("# ablation_ucb_c: win ratio of MCTS(C) vs MCTS(sqrt(2)), {games} games, 400 iterations/move");
+    println!("{:>6}  {:>9}  {:>11}", "C", "win ratio", "95% CI");
+    for c in [0.0, 0.25, 0.5, 1.0, std::f64::consts::SQRT_2, 2.0, 4.0, 8.0] {
+        let result = MatchSeries::<Reversi>::run(
+            games,
+            |g| {
+                Box::new(MctsPlayer::new(
+                    SequentialSearcher::<Reversi>::new(
+                        MctsConfig::default()
+                            .with_seed(seed.wrapping_add(g))
+                            .with_exploration(c),
+                    ),
+                    budget,
+                ))
+            },
+            |g| {
+                Box::new(MctsPlayer::new(
+                    SequentialSearcher::<Reversi>::new(
+                        MctsConfig::default().with_seed(seed.wrapping_add(100 + g)),
+                    ),
+                    budget,
+                ))
+            },
+        );
+        let (lo, hi) = result.winloss.wilson95();
+        println!("{c:>6.2}  {:>9.3}  {lo:.2}-{hi:.2}", result.win_ratio());
+    }
+}

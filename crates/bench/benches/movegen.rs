@@ -1,0 +1,63 @@
+//! Criterion microbenches for the Reversi bitboard kernels — the inner loop
+//! of every playout (real wall-clock performance, not virtual time).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmcts_bench::midgame_position;
+use pmcts_games::reversi::bitboard;
+use pmcts_games::{Game, MoveBuf, Reversi};
+
+fn bench_movegen(c: &mut Criterion) {
+    let positions: Vec<Reversi> = (0..32).map(|i| midgame_position(i, 20)).collect();
+
+    c.bench_function("legal_moves_mask (shift kernel)", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &positions {
+                let (own, opp) = p.own_opp();
+                acc ^= bitboard::legal_moves_mask(black_box(own), black_box(opp));
+            }
+            acc
+        })
+    });
+
+    c.bench_function("legal_moves_mask (naive reference)", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &positions {
+                let (own, opp) = p.own_opp();
+                acc ^= bitboard::legal_moves_mask_naive(black_box(own), black_box(opp));
+            }
+            acc
+        })
+    });
+
+    c.bench_function("flips_for_move", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &positions {
+                let (own, opp) = p.own_opp();
+                let mask = bitboard::legal_moves_mask(own, opp);
+                if mask != 0 {
+                    let sq = mask.trailing_zeros() as u8;
+                    acc ^= bitboard::flips_for_move(black_box(own), black_box(opp), sq);
+                }
+            }
+            acc
+        })
+    });
+
+    c.bench_function("legal move list materialisation", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            let mut buf = MoveBuf::new();
+            for p in &positions {
+                p.legal_moves(&mut buf);
+                total += buf.len();
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_movegen);
+criterion_main!(benches);

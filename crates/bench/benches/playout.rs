@@ -1,0 +1,31 @@
+//! Criterion microbenches for full random playouts across the bundled game
+//! engines (wall-clock speed of the simulation step).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmcts_games::{random_playout, Connect4, Game, Hex7, Reversi, TicTacToe};
+use pmcts_util::Xoshiro256pp;
+
+fn bench_playouts(c: &mut Criterion) {
+    c.bench_function("reversi random playout", |b| {
+        let mut rng = Xoshiro256pp::new(1);
+        b.iter(|| random_playout(black_box(Reversi::initial()), &mut rng).plies)
+    });
+
+    c.bench_function("connect4 random playout", |b| {
+        let mut rng = Xoshiro256pp::new(2);
+        b.iter(|| random_playout(black_box(Connect4::initial()), &mut rng).plies)
+    });
+
+    c.bench_function("hex7 random playout", |b| {
+        let mut rng = Xoshiro256pp::new(3);
+        b.iter(|| random_playout(black_box(Hex7::initial()), &mut rng).plies)
+    });
+
+    c.bench_function("tictactoe random playout", |b| {
+        let mut rng = Xoshiro256pp::new(4);
+        b.iter(|| random_playout(black_box(TicTacToe::initial()), &mut rng).plies)
+    });
+}
+
+criterion_group!(benches, bench_playouts);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion microbenches for search-tree operations (selection, expansion,
+//! backpropagation) — the host-sequential part of block parallelism.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmcts_core::tree::SearchTree;
+use pmcts_games::Reversi;
+use pmcts_util::Xoshiro256pp;
+
+/// Builds a tree with `n` nodes by running plain MCTS-style growth.
+fn grown_tree(n: usize) -> SearchTree<Reversi> {
+    let mut tree = SearchTree::new(pmcts_games::Game::initial());
+    let mut rng = Xoshiro256pp::new(42);
+    while tree.len() < n {
+        let id = tree.select(1.4);
+        let node = if !tree.node(id).fully_expanded() {
+            tree.expand(id, &mut rng)
+        } else {
+            id
+        };
+        tree.backprop(node, 1.0, 1);
+    }
+    tree
+}
+
+fn bench_tree_ops(c: &mut Criterion) {
+    for &size in &[100usize, 1_000, 10_000] {
+        let tree = grown_tree(size);
+        c.bench_function(&format!("select (tree of {size})"), |b| {
+            b.iter(|| tree.select(black_box(1.4)))
+        });
+
+        c.bench_function(&format!("backprop (tree of {size})"), |b| {
+            let mut tree = tree.clone();
+            let leaf = tree.select(1.4);
+            b.iter(|| tree.backprop(black_box(leaf), 1.0, 1))
+        });
+    }
+
+    c.bench_function("expand+backprop iteration (tree of 1000)", |b| {
+        let tree = grown_tree(1_000);
+        let mut rng = Xoshiro256pp::new(7);
+        b.iter_batched(
+            || tree.clone(),
+            |mut t| {
+                let id = t.select(1.4);
+                let node = if !t.node(id).fully_expanded() {
+                    t.expand(id, &mut rng)
+                } else {
+                    id
+                };
+                t.backprop(node, 1.0, 1);
+                t.len()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_tree_ops);
+criterion_main!(benches);

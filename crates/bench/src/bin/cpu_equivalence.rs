@@ -1,0 +1,116 @@
+//! The paper's headline claim, quantified: "using my GPU MCTS
+//! implementation ... one GPU can be compared to 100-200 CPU threads".
+//!
+//! Method: play the block-parallel GPU player and root-parallel CPU
+//! players of increasing thread counts against the same 1-core sequential
+//! baseline at equal virtual time per move; convert win ratios to
+//! Elo-style strength differences; report the CPU thread count whose
+//! strength brackets the GPU's (log-linear interpolation).
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin cpu_equivalence -- [--full]`
+
+use pmcts_bench::BenchArgs;
+use pmcts_core::analysis::elo_diff;
+use pmcts_core::arena::MatchSeries;
+use pmcts_core::prelude::*;
+
+fn strength_vs_baseline(
+    label: &str,
+    make: &dyn Fn(u64) -> Box<dyn GamePlayer<Reversi>>,
+    args: &BenchArgs,
+    games: u64,
+    budget: SearchBudget,
+) -> f64 {
+    let result = MatchSeries::<Reversi>::run(games, make, |g| {
+        Box::new(MctsPlayer::new(
+            SequentialSearcher::<Reversi>::new(
+                MctsConfig::default().with_seed(args.seed.wrapping_add(3000 + g)),
+            ),
+            budget,
+        ))
+    });
+    let elo = elo_diff(result.win_ratio());
+    println!(
+        "{label:<44} win ratio {:.3}  ->  {:+6.0} Elo vs baseline",
+        result.win_ratio(),
+        elo
+    );
+    elo
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let games = args.games_or(4, 32);
+    let budget = SearchBudget::millis(args.move_ms_or(150, 500));
+    let cpu_counts: Vec<usize> = if args.full {
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
+    } else {
+        vec![4, 32, 128]
+    };
+
+    println!("# cpu_equivalence: {games} games per point, equal virtual budget per move\n");
+
+    let gpu_elo = strength_vs_baseline(
+        "1 GPU, block parallelism (112 x 128)",
+        &|g| {
+            Box::new(MctsPlayer::new(
+                BlockParallelSearcher::<Reversi>::new(
+                    MctsConfig::default().with_seed(args.seed.wrapping_add(g)),
+                    Device::c2050(),
+                    LaunchConfig::new(112, 128),
+                ),
+                budget,
+            ))
+        },
+        &args,
+        games,
+        budget,
+    );
+
+    let mut curve: Vec<(usize, f64)> = Vec::new();
+    for &threads in &cpu_counts {
+        let elo = strength_vs_baseline(
+            &format!("{threads} CPU threads, root parallelism"),
+            &|g| {
+                Box::new(MctsPlayer::new(
+                    RootParallelSearcher::<Reversi>::new(
+                        MctsConfig::default().with_seed(args.seed.wrapping_add(100 + g)),
+                        threads,
+                    ),
+                    budget,
+                ))
+            },
+            &args,
+            games,
+            budget,
+        );
+        curve.push((threads, elo));
+    }
+
+    // Locate the GPU between CPU points (log2-linear interpolation).
+    let below = curve.iter().rev().find(|&&(_, e)| e <= gpu_elo);
+    let above = curve.iter().find(|&&(_, e)| e >= gpu_elo);
+    match (below, above) {
+        (Some(&(n_lo, e_lo)), Some(&(n_hi, e_hi))) if n_lo <= n_hi && e_hi > e_lo => {
+            let t = (gpu_elo - e_lo) / (e_hi - e_lo);
+            let log_n = (n_lo as f64).log2() + t * ((n_hi as f64).log2() - (n_lo as f64).log2());
+            println!(
+                "\n=> 1 GPU ≈ {:.0} root-parallel CPU threads at this budget \
+                 (paper: 100-200 at ~1 s/move)",
+                log_n.exp2()
+            );
+        }
+        _ => {
+            let strongest = curve.last().map(|&(n, e)| (n, e)).unwrap_or((0, 0.0));
+            if gpu_elo > strongest.1 {
+                println!(
+                    "\n=> the GPU is stronger than all {} tested CPU configurations (> {} threads)",
+                    curve.len(),
+                    strongest.0
+                );
+            } else {
+                println!("\n=> the GPU is weaker than every tested CPU configuration");
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! SIMD divergence report.
+//!
+//! Prints the Reversi playout-length distribution and the lane-efficiency
+//! numbers the warp-lockstep model derives from it, per game phase. This is
+//! the quantitative basis for the paper's design choice: playouts of
+//! varying length make per-thread independent *searches* infeasible on
+//! SIMD hardware, while per-block shared *positions* keep warps coherent.
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin divergence_report`
+
+use pmcts_bench::{midgame_position, BenchArgs};
+use pmcts_core::gpu::PlayoutKernel;
+use pmcts_games::{random_playout, Game, Reversi};
+use pmcts_gpu_sim::{Device, LaunchConfig};
+use pmcts_util::{Histogram, Xoshiro256pp};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let playouts = if args.full { 20_000 } else { 4_000 };
+
+    println!("# divergence_report: Reversi playout lengths and warp efficiency\n");
+    println!(
+        "{:<22} {:>6} {:>6} {:>6} {:>6} {:>8} {:>12}",
+        "phase", "mean", "p10", "p50", "p90", "max", "efficiency"
+    );
+
+    for (label, plies_in) in [
+        ("opening (ply 0)", 0u32),
+        ("midgame (ply 20)", 20),
+        ("endgame (ply 44)", 44),
+    ] {
+        let position = if plies_in == 0 {
+            Reversi::initial()
+        } else {
+            midgame_position(args.seed, plies_in)
+        };
+
+        // Host-side distribution of playout lengths.
+        let mut hist = Histogram::new(Reversi::MAX_GAME_LENGTH + 1);
+        let mut rng = Xoshiro256pp::new(args.seed);
+        for _ in 0..playouts {
+            hist.record(random_playout(position, &mut rng).plies);
+        }
+
+        // Device-side lane efficiency for the same position.
+        let device = Device::c2050();
+        let kernel = PlayoutKernel::new(vec![position], args.seed);
+        let result = device.launch(&kernel, LaunchConfig::new(14, 64));
+
+        println!(
+            "{label:<22} {:>6.1} {:>6} {:>6} {:>6} {:>8} {:>11.1}%",
+            hist.mean(),
+            hist.quantile(0.1).unwrap_or(0),
+            hist.quantile(0.5).unwrap_or(0),
+            hist.quantile(0.9).unwrap_or(0),
+            hist.max().unwrap_or(0),
+            result.stats.lane_efficiency() * 100.0
+        );
+    }
+
+    println!(
+        "\nInterpretation: a warp retires only when its longest playout ends, so\n\
+         lane efficiency ≈ mean/max of the in-warp length distribution. Late-game\n\
+         positions have shorter, tighter playouts and thus higher efficiency."
+    );
+}

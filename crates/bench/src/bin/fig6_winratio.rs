@@ -1,0 +1,135 @@
+//! Figure 6 — "Block parallelism vs Leaf parallelism, final result".
+//!
+//! Win ratio of a GPU player against a single-CPU-core sequential MCTS
+//! opponent, both given the **same virtual time per move**, as a function
+//! of GPU thread count, for the paper's three configurations.
+//!
+//! Expected shape (paper): the leaf-parallel curve saturates around 0.75
+//! near 1024 threads; block parallelism keeps improving with more threads
+//! (more trees); block-32 is better at small thread counts, block-128
+//! overtakes at large ones.
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin fig6_winratio -- [--full]`
+
+use pmcts_bench::{print_series, BenchArgs};
+use pmcts_core::prelude::*;
+use pmcts_util::Series;
+
+fn thread_sweep(full: bool) -> Vec<u32> {
+    if full {
+        vec![32, 64, 128, 256, 512, 1024, 2048, 4096, 7168, 14336]
+    } else {
+        // Quick mode stops at 4096: beyond that, a meaningful measurement
+        // needs per-move budgets far above the block-parallel iteration
+        // latency (~16 ms at full device), i.e. paper-scale seconds/move.
+        vec![256, 1024, 4096]
+    }
+}
+
+fn geometry(total_threads: u32, block_size: u32) -> LaunchConfig {
+    if total_threads <= block_size {
+        LaunchConfig::new(1, total_threads)
+    } else {
+        LaunchConfig::new(total_threads / block_size, block_size)
+    }
+}
+
+/// One curve: a GPU scheme swept over thread counts vs the 1-core baseline.
+fn sweep(
+    label: &str,
+    make_searcher: &dyn Fn(u64, u32) -> Box<dyn Searcher<Reversi>>,
+    block_size: u32,
+    args: &BenchArgs,
+    games: u64,
+    budget: SearchBudget,
+) -> Series {
+    let mut series = Series::new(label);
+    for threads in thread_sweep(args.full) {
+        if threads < block_size && threads < 32 {
+            continue;
+        }
+        let result = pmcts_core::arena::MatchSeries::<Reversi>::run(
+            games,
+            |g| {
+                Box::new(MctsPlayer::new(
+                    make_searcher(args.seed.wrapping_add(g), threads),
+                    budget,
+                ))
+            },
+            |g| {
+                Box::new(MctsPlayer::new(
+                    SequentialSearcher::<Reversi>::new(
+                        MctsConfig::default().with_seed(args.seed.wrapping_add(1000 + g)),
+                    ),
+                    budget,
+                ))
+            },
+        );
+        let (lo, hi) = result.winloss.wilson95();
+        eprintln!(
+            "{label:<42} threads={threads:>6}  win ratio {:.3}  (95% CI {lo:.2}-{hi:.2}, {} games)",
+            result.win_ratio(),
+            games
+        );
+        series.push(threads as f64, result.win_ratio());
+    }
+    series
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let games = args.games_or(4, 24);
+    // The budget must be a large multiple of the iteration latency or the
+    // GPU trees stay degenerate (see EXPERIMENTS.md).
+    let budget = SearchBudget::millis(args.move_ms_or(150, 500));
+
+    let leaf = sweep(
+        "leaf parallelism (block size = 64)",
+        &|seed, threads| {
+            Box::new(LeafParallelSearcher::<Reversi>::new(
+                MctsConfig::default().with_seed(seed),
+                Device::c2050(),
+                geometry(threads, 64),
+            ))
+        },
+        64,
+        &args,
+        games,
+        budget,
+    );
+    let block32 = sweep(
+        "block parallelism (block size = 32)",
+        &|seed, threads| {
+            Box::new(BlockParallelSearcher::<Reversi>::new(
+                MctsConfig::default().with_seed(seed),
+                Device::c2050(),
+                geometry(threads, 32),
+            ))
+        },
+        32,
+        &args,
+        games,
+        budget,
+    );
+    let block128 = sweep(
+        "block parallelism (block size = 128)",
+        &|seed, threads| {
+            Box::new(BlockParallelSearcher::<Reversi>::new(
+                MctsConfig::default().with_seed(seed),
+                Device::c2050(),
+                geometry(threads, 128),
+            ))
+        },
+        128,
+        &args,
+        games,
+        budget,
+    );
+
+    print_series(
+        "fig6_winratio",
+        "win ratio vs 1-core sequential MCTS, equal virtual time per move (Rocki & Suda Fig. 6)",
+        &[leaf, block32, block128],
+        &args,
+    );
+}

@@ -1,0 +1,104 @@
+//! Figure 7 — "GPU vs root-parallel CPUs".
+//!
+//! Average point difference (candidate score − opponent score) at every
+//! game step, for root-parallel CPU players of 2…256 threads and for one
+//! GPU running block parallelism (block size 128), each playing against the
+//! same single-core sequential MCTS baseline with equal virtual time per
+//! move.
+//!
+//! Expected shape (paper): curves order by thread count; the single GPU's
+//! curve sits at or above the 128–256-CPU curves, with the GPU's advantage
+//! largest in the early/mid game.
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin fig7_gpu_vs_cpus -- [--full]`
+
+use pmcts_bench::{print_series, BenchArgs};
+use pmcts_core::arena::MatchSeries;
+use pmcts_core::prelude::*;
+use pmcts_util::Series;
+
+fn cpu_sweep(full: bool) -> Vec<usize> {
+    if full {
+        vec![2, 4, 8, 16, 32, 64, 128, 256]
+    } else {
+        vec![16, 128]
+    }
+}
+
+/// Plays a candidate (built per game) against the 1-core baseline and
+/// returns the average point-difference trace.
+fn trace(
+    label: &str,
+    make_candidate: &dyn Fn(u64) -> Box<dyn GamePlayer<Reversi>>,
+    args: &BenchArgs,
+    games: u64,
+    budget: SearchBudget,
+) -> Series {
+    let result = MatchSeries::<Reversi>::run(games, make_candidate, |g| {
+        Box::new(MctsPlayer::new(
+            SequentialSearcher::<Reversi>::new(
+                MctsConfig::default().with_seed(args.seed.wrapping_add(9000 + g)),
+            ),
+            budget,
+        ))
+    });
+    eprintln!(
+        "{label:<46} mean final diff {:+.1} over {} games",
+        result.mean_score.mean(),
+        games
+    );
+    let mut series = Series::new(label);
+    for (step, stats) in result.score_by_step.iter().enumerate() {
+        series.push((step + 1) as f64, stats.mean());
+    }
+    series
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let games = args.games_or(4, 24);
+    let budget = SearchBudget::millis(args.move_ms_or(150, 500));
+    let mut all = Vec::new();
+
+    for threads in cpu_sweep(args.full) {
+        all.push(trace(
+            &format!("{threads} cpus (root parallelism)"),
+            &|g| {
+                Box::new(MctsPlayer::new(
+                    RootParallelSearcher::<Reversi>::new(
+                        MctsConfig::default().with_seed(args.seed.wrapping_add(g)),
+                        threads,
+                    ),
+                    budget,
+                ))
+            },
+            &args,
+            games,
+            budget,
+        ));
+    }
+
+    all.push(trace(
+        "1 GPU - block parallelism (block size = 128)",
+        &|g| {
+            Box::new(MctsPlayer::new(
+                BlockParallelSearcher::<Reversi>::new(
+                    MctsConfig::default().with_seed(args.seed.wrapping_add(g)),
+                    Device::c2050(),
+                    LaunchConfig::new(112, 128),
+                ),
+                budget,
+            ))
+        },
+        &args,
+        games,
+        budget,
+    ));
+
+    print_series(
+        "fig7_gpu_vs_cpus",
+        "point difference vs game step: root-parallel CPUs and 1 GPU vs 1-core baseline (Rocki & Suda Fig. 7)",
+        &all,
+        &args,
+    );
+}

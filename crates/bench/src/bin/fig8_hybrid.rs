@@ -1,0 +1,113 @@
+//! Figure 8 — "Hybrid CPU/GPU vs GPU-only processing".
+//!
+//! Two panels over the game steps, each player facing the same 1-core
+//! sequential baseline with equal virtual time per move:
+//!   * points: average point difference per game step;
+//!   * depth: average maximum search-tree depth per move.
+//!
+//! Expected shape (paper): the hybrid player's trees are strictly deeper
+//! (the CPU keeps expanding during kernel flight) and its point curve is at
+//! or above GPU-only, especially in the last phase of the game.
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin fig8_hybrid -- [--full]`
+
+use pmcts_bench::{print_series, BenchArgs};
+use pmcts_core::arena::MatchSeries;
+use pmcts_core::prelude::*;
+use pmcts_util::Series;
+
+struct Traces {
+    points: Series,
+    depth: Series,
+}
+
+fn run(
+    label: &str,
+    make_candidate: &dyn Fn(u64) -> Box<dyn GamePlayer<Reversi>>,
+    args: &BenchArgs,
+    games: u64,
+    budget: SearchBudget,
+) -> Traces {
+    let result = MatchSeries::<Reversi>::run(games, make_candidate, |g| {
+        Box::new(MctsPlayer::new(
+            SequentialSearcher::<Reversi>::new(
+                MctsConfig::default().with_seed(args.seed.wrapping_add(7000 + g)),
+            ),
+            budget,
+        ))
+    });
+    let mean_depth: f64 = if result.depth_by_step.is_empty() {
+        0.0
+    } else {
+        result.depth_by_step.iter().map(|s| s.mean()).sum::<f64>()
+            / result.depth_by_step.len() as f64
+    };
+    eprintln!(
+        "{label:<24} mean final diff {:+.1}, mean tree depth {:.1} over {} games",
+        result.mean_score.mean(),
+        mean_depth,
+        games
+    );
+    let mut points = Series::new(label.to_string());
+    for (step, stats) in result.score_by_step.iter().enumerate() {
+        points.push((step + 1) as f64, stats.mean());
+    }
+    let mut depth = Series::new(label.to_string());
+    for (step, stats) in result.depth_by_step.iter().enumerate() {
+        depth.push((step + 1) as f64, stats.mean());
+    }
+    Traces { points, depth }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let games = args.games_or(4, 24);
+    let budget = SearchBudget::millis(args.move_ms_or(150, 500));
+    let launch = LaunchConfig::new(112, 64);
+
+    let gpu_only = run(
+        "GPU",
+        &|g| {
+            Box::new(MctsPlayer::new(
+                BlockParallelSearcher::<Reversi>::new(
+                    MctsConfig::default().with_seed(args.seed.wrapping_add(g)),
+                    Device::c2050(),
+                    launch,
+                ),
+                budget,
+            ))
+        },
+        &args,
+        games,
+        budget,
+    );
+    let hybrid = run(
+        "GPU + CPU",
+        &|g| {
+            Box::new(MctsPlayer::new(
+                HybridSearcher::<Reversi>::new(
+                    MctsConfig::default().with_seed(args.seed.wrapping_add(g)),
+                    Device::c2050(),
+                    launch,
+                ),
+                budget,
+            ))
+        },
+        &args,
+        games,
+        budget,
+    );
+
+    print_series(
+        "fig8_points",
+        "point difference vs game step, hybrid vs GPU-only (Rocki & Suda Fig. 8, upper panel)",
+        &[hybrid.points, gpu_only.points],
+        &args,
+    );
+    print_series(
+        "fig8_depth",
+        "search-tree depth vs game step, hybrid vs GPU-only (Rocki & Suda Fig. 8, lower panel)",
+        &[hybrid.depth, gpu_only.depth],
+        &args,
+    );
+}

@@ -1,0 +1,44 @@
+//! Diagnostic probe: does a smaller exploration constant fix the shallow
+//! batched-update trees of the GPU schemes at scaled-down budgets?
+//! (Development tool behind the `gpu_exploration_c` default; see
+//! EXPERIMENTS.md "budget caveat".)
+
+use pmcts_bench::BenchArgs;
+use pmcts_core::arena::MatchSeries;
+use pmcts_core::prelude::*;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let games = args.games_or(4, 16);
+    let budget = SearchBudget::millis(args.move_ms_or(150, 500));
+    for c in [1.414, 1.0, 0.7, 0.4, 0.2] {
+        let result = MatchSeries::<Reversi>::run(
+            games,
+            |g| {
+                Box::new(MctsPlayer::new(
+                    BlockParallelSearcher::<Reversi>::new(
+                        MctsConfig::default()
+                            .with_seed(args.seed.wrapping_add(g))
+                            .with_exploration(c),
+                        Device::c2050(),
+                        LaunchConfig::new(32, 32),
+                    ),
+                    budget,
+                ))
+            },
+            |g| {
+                Box::new(MctsPlayer::new(
+                    SequentialSearcher::<Reversi>::new(
+                        MctsConfig::default().with_seed(args.seed.wrapping_add(1000 + g)),
+                    ),
+                    budget,
+                ))
+            },
+        );
+        let (lo, hi) = result.winloss.wilson95();
+        println!(
+            "C={c:<5}  win ratio {:.3}  (95% CI {lo:.2}-{hi:.2}, {games} games)",
+            result.win_ratio()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Round-robin tournament among the parallelization schemes at equal
+//! virtual budget — a one-stop comparison across everything §III describes
+//! (plus the extensions), printed as a cross table.
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin tournament -- [--full]`
+
+use pmcts_bench::BenchArgs;
+use pmcts_core::arena::MatchSeries;
+use pmcts_core::prelude::*;
+use pmcts_mpi_sim::NetworkModel;
+
+/// A named player factory.
+struct Entrant {
+    name: &'static str,
+    make: Box<dyn Fn(u64, SearchBudget) -> Box<dyn GamePlayer<Reversi>>>,
+}
+
+fn entrants(seed: u64) -> Vec<Entrant> {
+    vec![
+        Entrant {
+            name: "sequential",
+            make: Box::new(move |g, budget| {
+                Box::new(MctsPlayer::new(
+                    SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(seed ^ g)),
+                    budget,
+                ))
+            }),
+        },
+        Entrant {
+            name: "root x16",
+            make: Box::new(move |g, budget| {
+                Box::new(MctsPlayer::new(
+                    RootParallelSearcher::<Reversi>::new(
+                        MctsConfig::default().with_seed(seed ^ g),
+                        16,
+                    ),
+                    budget,
+                ))
+            }),
+        },
+        Entrant {
+            name: "leaf 16x64",
+            make: Box::new(move |g, budget| {
+                Box::new(MctsPlayer::new(
+                    LeafParallelSearcher::<Reversi>::new(
+                        MctsConfig::default().with_seed(seed ^ g),
+                        Device::c2050(),
+                        LaunchConfig::new(16, 64),
+                    ),
+                    budget,
+                ))
+            }),
+        },
+        Entrant {
+            name: "block 32x32",
+            make: Box::new(move |g, budget| {
+                Box::new(MctsPlayer::new(
+                    BlockParallelSearcher::<Reversi>::new(
+                        MctsConfig::default().with_seed(seed ^ g),
+                        Device::c2050(),
+                        LaunchConfig::new(32, 32),
+                    ),
+                    budget,
+                ))
+            }),
+        },
+        Entrant {
+            name: "hybrid 32x32",
+            make: Box::new(move |g, budget| {
+                Box::new(MctsPlayer::new(
+                    HybridSearcher::<Reversi>::new(
+                        MctsConfig::default().with_seed(seed ^ g),
+                        Device::c2050(),
+                        LaunchConfig::new(32, 32),
+                    ),
+                    budget,
+                ))
+            }),
+        },
+        Entrant {
+            name: "2gpu 16x32",
+            make: Box::new(move |g, budget| {
+                Box::new(MctsPlayer::new(
+                    MultiGpuSearcher::<Reversi>::new(
+                        MctsConfig::default().with_seed(seed ^ g),
+                        2,
+                        DeviceSpec::tesla_c2050(),
+                        LaunchConfig::new(16, 32),
+                        NetworkModel::infiniband(),
+                    ),
+                    budget,
+                ))
+            }),
+        },
+    ]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let games = args.games_or(2, 10);
+    let budget = SearchBudget::millis(args.move_ms_or(60, 250));
+    let players = entrants(args.seed);
+    let n = players.len();
+
+    println!(
+        "# tournament: {games} games per pairing, {} per move\n",
+        match budget {
+            SearchBudget::VirtualTime(t) => t.to_string(),
+            SearchBudget::Iterations(i) => format!("{i} iterations"),
+        }
+    );
+
+    // scores[i][j] = win ratio of i against j.
+    let mut scores = vec![vec![None::<f64>; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let result = MatchSeries::<Reversi>::run(
+                games,
+                |g| (players[i].make)(g.wrapping_add(17 * i as u64), budget),
+                |g| (players[j].make)(g.wrapping_add(31 * j as u64 + 1000), budget),
+            );
+            scores[i][j] = Some(result.win_ratio());
+            eprintln!(
+                "{:<14} vs {:<14} {:.2}",
+                players[i].name,
+                players[j].name,
+                result.win_ratio()
+            );
+        }
+    }
+
+    // Cross table.
+    print!("{:<14}", "");
+    for p in &players {
+        print!("{:>12}", p.name);
+    }
+    println!("{:>8}", "mean");
+    for i in 0..n {
+        print!("{:<14}", players[i].name);
+        let mut sum = 0.0;
+        let mut count = 0;
+        for score in &scores[i] {
+            match score {
+                Some(s) => {
+                    print!("{s:>12.2}");
+                    sum += s;
+                    count += 1;
+                }
+                None => print!("{:>12}", "-"),
+            }
+        }
+        println!("{:>8.2}", sum / count.max(1) as f64);
+    }
+}

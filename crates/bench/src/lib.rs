@@ -1,0 +1,169 @@
+//! Shared harness for the figure regenerators and ablation benches.
+//!
+//! Every experiment binary follows the same shape: parse a few flags
+//! ([`BenchArgs`]), build players/searchers from `pmcts-core`, sweep a
+//! parameter, and print labelled TSV series ([`print_series`]) that
+//! correspond one-to-one to the curves of the paper's figures. Output goes
+//! to stdout and, with `--out DIR`, to `DIR/<name>.tsv`.
+
+use pmcts_games::{Game, Reversi};
+use pmcts_util::stats::Series;
+use pmcts_util::SplitMix64;
+use std::io::Write;
+
+/// Command-line arguments shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Paper-sized sweep (slow) instead of the CI-sized default.
+    pub full: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Override for games per configuration (0 = binary default).
+    pub games: u64,
+    /// Override for the per-move virtual budget in milliseconds
+    /// (0 = binary default).
+    pub move_ms: u64,
+    /// Optional output directory for TSV files.
+    pub out_dir: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            full: false,
+            seed: 0xF1605EED,
+            games: 0,
+            move_ms: 0,
+            out_dir: None,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`. Unknown flags abort with usage help.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => args.full = true,
+                "--quick" => args.full = false,
+                "--seed" => args.seed = expect_num(&mut it, "--seed"),
+                "--games" => args.games = expect_num(&mut it, "--games"),
+                "--move-ms" => args.move_ms = expect_num(&mut it, "--move-ms"),
+                "--out" => {
+                    args.out_dir = Some(it.next().unwrap_or_else(|| usage("--out needs a path")))
+                }
+                "--help" | "-h" => usage("usage"),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+
+    /// Games per configuration, honouring the override.
+    pub fn games_or(&self, default_quick: u64, default_full: u64) -> u64 {
+        if self.games > 0 {
+            self.games
+        } else if self.full {
+            default_full
+        } else {
+            default_quick
+        }
+    }
+
+    /// Per-move virtual budget (ms), honouring the override.
+    pub fn move_ms_or(&self, default_quick: u64, default_full: u64) -> u64 {
+        if self.move_ms > 0 {
+            self.move_ms
+        } else if self.full {
+            default_full
+        } else {
+            default_quick
+        }
+    }
+}
+
+fn expect_num(it: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "{msg}\n\nflags:\n  --quick          CI-sized sweep (default)\n  --full           paper-sized sweep\n  --seed N         base RNG seed\n  --games N        games per configuration\n  --move-ms N      per-move virtual budget in milliseconds\n  --out DIR        also write TSV files to DIR"
+    );
+    std::process::exit(2)
+}
+
+/// Prints series as TSV: a comment header, then `x<TAB>y` blocks per
+/// series, blank-line separated — easy to plot and to diff.
+pub fn print_series(name: &str, title: &str, series: &[Series], args: &BenchArgs) {
+    let mut text = String::new();
+    text.push_str(&format!("# {name}: {title}\n"));
+    for s in series {
+        text.push_str(&format!("## {}\n", s.label));
+        for &(x, y) in &s.points {
+            text.push_str(&format!("{x}\t{y:.6}\n"));
+        }
+        text.push('\n');
+    }
+    print!("{text}");
+    if let Some(dir) = &args.out_dir {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        let path = format!("{dir}/{name}.tsv");
+        let mut f = std::fs::File::create(&path).expect("create tsv");
+        f.write_all(text.as_bytes()).expect("write tsv");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// A reproducible mid-game Reversi position: `plies` uniformly random moves
+/// from the initial position under `seed`. The speed experiments measure on
+/// mid-game positions because the branching factor (and hence kernel
+/// divergence) is at its Reversi-typical level there.
+pub fn midgame_position(seed: u64, plies: u32) -> Reversi {
+    let mut state = Reversi::initial();
+    let mut rng = SplitMix64::new(seed ^ 0x4D1D_6A3E);
+    for _ in 0..plies {
+        match state.random_move(&mut rng) {
+            Some(mv) => state.apply(mv),
+            None => break,
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcts_games::Game;
+
+    #[test]
+    fn midgame_position_is_reproducible() {
+        let a = midgame_position(1, 20);
+        let b = midgame_position(1, 20);
+        assert_eq!(a, b);
+        assert!(a.occupancy() >= 20, "20 plies placed at least 20 discs");
+        assert!(!a.is_terminal());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(midgame_position(1, 20), midgame_position(2, 20));
+    }
+
+    #[test]
+    fn args_defaults() {
+        let a = BenchArgs::default();
+        assert!(!a.full);
+        assert_eq!(a.games_or(5, 50), 5);
+        assert_eq!(a.move_ms_or(10, 100), 10);
+        let mut b = a.clone();
+        b.full = true;
+        assert_eq!(b.games_or(5, 50), 50);
+        b.games = 7;
+        assert_eq!(b.games_or(5, 50), 7);
+    }
+}

@@ -1,0 +1,269 @@
+//! The match arena: plays full games between players and records the traces
+//! the paper's figures are built from.
+//!
+//! * Fig. 6 needs win ratios over many games;
+//! * Fig. 7 needs the *point difference per game step* (current score from
+//!   one side's perspective after every ply);
+//! * Fig. 8 additionally needs each player's search-tree depth per move.
+
+use crate::player::GamePlayer;
+use pmcts_games::{Game, Outcome, Player};
+use pmcts_util::{OnlineStats, WinLoss};
+
+/// Full record of one played game.
+#[derive(Clone, Debug)]
+pub struct GameRecord {
+    /// Score (from P1's perspective) after each ply, index 0 = after the
+    /// first move.
+    pub score_trace: Vec<i32>,
+    /// Max search-tree depth reported by P1 at each of its moves (empty for
+    /// non-searching players).
+    pub depth_trace_p1: Vec<u32>,
+    /// Same for P2.
+    pub depth_trace_p2: Vec<u32>,
+    /// Total simulations spent by each player.
+    pub simulations: [u64; 2],
+    /// Number of plies played.
+    pub plies: u32,
+    /// Final outcome.
+    pub outcome: Outcome,
+    /// Final score from P1's perspective.
+    pub final_score: i32,
+}
+
+impl GameRecord {
+    /// Final score from the given player's perspective.
+    pub fn score_for(&self, player: Player) -> i32 {
+        match player {
+            Player::P1 => self.final_score,
+            Player::P2 => -self.final_score,
+        }
+    }
+}
+
+/// Plays one game between `p1` (moving first) and `p2`.
+///
+/// # Panics
+/// Panics if a player returns an illegal move (engines debug-assert) or no
+/// move on a non-terminal state.
+pub fn play_game<G: Game>(p1: &mut dyn GamePlayer<G>, p2: &mut dyn GamePlayer<G>) -> GameRecord {
+    let mut state = G::initial();
+    let mut score_trace = Vec::with_capacity(G::MAX_GAME_LENGTH);
+    let mut depth_trace_p1 = Vec::new();
+    let mut depth_trace_p2 = Vec::new();
+    let mut simulations = [0u64; 2];
+    let mut plies = 0u32;
+
+    while !state.is_terminal() {
+        let mover = state.to_move();
+        let (mv, depth, sims) = {
+            let player: &mut dyn GamePlayer<G> = match mover {
+                Player::P1 => &mut *p1,
+                Player::P2 => &mut *p2,
+            };
+            let mv = player
+                .choose(&state)
+                .expect("player must move on non-terminal state");
+            let (depth, sims) = player
+                .last_report()
+                .map(|r| (r.max_depth, r.simulations))
+                .unwrap_or((0, 0));
+            (mv, depth, sims)
+        };
+        match mover {
+            Player::P1 => depth_trace_p1.push(depth),
+            Player::P2 => depth_trace_p2.push(depth),
+        }
+        simulations[mover.index()] += sims;
+        state.apply(mv);
+        plies += 1;
+        score_trace.push(state.score());
+        assert!(
+            plies as usize <= G::MAX_GAME_LENGTH,
+            "game exceeded MAX_GAME_LENGTH"
+        );
+    }
+
+    GameRecord {
+        score_trace,
+        depth_trace_p1,
+        depth_trace_p2,
+        simulations,
+        plies,
+        outcome: state.outcome().expect("terminal state has outcome"),
+        final_score: state.score(),
+    }
+}
+
+/// Aggregated results of a series of games between a *candidate* (player A)
+/// and an *opponent* (player B), colours alternating.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesResult {
+    /// Win/draw/loss from the candidate's perspective.
+    pub winloss: WinLoss,
+    /// Mean final score (candidate − opponent).
+    pub mean_score: OnlineStats,
+    /// Mean score difference per game step, candidate's perspective
+    /// (the Y axis of Figs. 7–8); entry `i` covers ply `i + 1`.
+    pub score_by_step: Vec<OnlineStats>,
+    /// Mean candidate tree depth per candidate move (Fig. 8's lower panel).
+    pub depth_by_step: Vec<OnlineStats>,
+    /// Total simulations spent by the candidate / the opponent.
+    pub simulations: [u64; 2],
+    /// Games played.
+    pub games: u64,
+}
+
+impl SeriesResult {
+    /// Records one finished game in which the candidate played `colour`.
+    pub fn record(&mut self, record: &GameRecord, colour: Player) {
+        self.games += 1;
+        self.winloss.record_score(record.score_for(colour));
+        self.mean_score.push(record.score_for(colour) as f64);
+        let sign = match colour {
+            Player::P1 => 1.0,
+            Player::P2 => -1.0,
+        };
+        for (i, &s) in record.score_trace.iter().enumerate() {
+            if self.score_by_step.len() <= i {
+                self.score_by_step.push(OnlineStats::new());
+            }
+            self.score_by_step[i].push(sign * s as f64);
+        }
+        let depths = match colour {
+            Player::P1 => &record.depth_trace_p1,
+            Player::P2 => &record.depth_trace_p2,
+        };
+        for (i, &d) in depths.iter().enumerate() {
+            if self.depth_by_step.len() <= i {
+                self.depth_by_step.push(OnlineStats::new());
+            }
+            self.depth_by_step[i].push(d as f64);
+        }
+        self.simulations[0] += record.simulations[colour.index()];
+        self.simulations[1] += record.simulations[colour.opponent().index()];
+    }
+
+    /// Candidate win ratio (draws = ½).
+    pub fn win_ratio(&self) -> f64 {
+        self.winloss.win_ratio()
+    }
+}
+
+/// Plays `games` between a candidate and an opponent, alternating colours
+/// (candidate is P1 in even games). Player factories receive the game index
+/// so each game can use fresh, seeded players.
+pub struct MatchSeries<G: Game> {
+    _game: std::marker::PhantomData<fn() -> G>,
+}
+
+impl<G: Game> MatchSeries<G> {
+    /// Runs the series and aggregates the result.
+    pub fn run(
+        games: u64,
+        mut candidate: impl FnMut(u64) -> Box<dyn GamePlayer<G>>,
+        mut opponent: impl FnMut(u64) -> Box<dyn GamePlayer<G>>,
+    ) -> SeriesResult {
+        let mut result = SeriesResult::default();
+        for g in 0..games {
+            let mut cand = candidate(g);
+            let mut opp = opponent(g);
+            let colour = if g % 2 == 0 { Player::P1 } else { Player::P2 };
+            let record = match colour {
+                Player::P1 => play_game::<G>(&mut *cand, &mut *opp),
+                Player::P2 => play_game::<G>(&mut *opp, &mut *cand),
+            };
+            result.record(&record, colour);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MctsConfig, SearchBudget};
+    use crate::player::{MctsPlayer, RandomPlayer};
+    use crate::sequential::SequentialSearcher;
+    use pmcts_games::{Connect4, Reversi, TicTacToe};
+
+    #[test]
+    fn random_vs_random_reversi_completes() {
+        let mut a = RandomPlayer::new(1);
+        let mut b = RandomPlayer::new(2);
+        let rec = play_game::<Reversi>(&mut a, &mut b);
+        assert!(rec.plies >= 50);
+        assert_eq!(rec.score_trace.len(), rec.plies as usize);
+        let (sum_b, sum_w) = match rec.outcome {
+            Outcome::Win(Player::P1) => (true, false),
+            Outcome::Win(Player::P2) => (false, true),
+            Outcome::Draw => (false, false),
+        };
+        if sum_b {
+            assert!(rec.final_score > 0);
+        }
+        if sum_w {
+            assert!(rec.final_score < 0);
+        }
+    }
+
+    #[test]
+    fn score_for_negates_for_p2() {
+        let rec = GameRecord {
+            score_trace: vec![],
+            depth_trace_p1: vec![],
+            depth_trace_p2: vec![],
+            simulations: [0, 0],
+            plies: 0,
+            outcome: Outcome::Draw,
+            final_score: 10,
+        };
+        assert_eq!(rec.score_for(Player::P1), 10);
+        assert_eq!(rec.score_for(Player::P2), -10);
+    }
+
+    #[test]
+    fn mcts_beats_random_at_tictactoe() {
+        let result = MatchSeries::<TicTacToe>::run(
+            20,
+            |g| {
+                Box::new(MctsPlayer::new(
+                    SequentialSearcher::<TicTacToe>::new(MctsConfig::default().with_seed(g)),
+                    SearchBudget::Iterations(300),
+                ))
+            },
+            |g| Box::new(RandomPlayer::new(1000 + g)),
+        );
+        assert_eq!(result.games, 20);
+        // MCTS should essentially never lose tic-tac-toe to random.
+        assert!(result.winloss.losses <= 1, "losses: {:?}", result.winloss);
+    }
+
+    #[test]
+    fn series_alternates_colours_and_tracks_steps() {
+        let result = MatchSeries::<Connect4>::run(
+            4,
+            |g| Box::new(RandomPlayer::new(g)),
+            |g| Box::new(RandomPlayer::new(100 + g)),
+        );
+        assert_eq!(result.games, 4);
+        assert!(!result.score_by_step.is_empty());
+        // Connect-4 needs at least 7 plies; step 0 has all 4 games.
+        assert_eq!(result.score_by_step[0].count(), 4);
+    }
+
+    #[test]
+    fn depth_trace_recorded_for_searching_players() {
+        let mut mcts = MctsPlayer::new(
+            SequentialSearcher::<TicTacToe>::new(MctsConfig::default().with_seed(5)),
+            SearchBudget::Iterations(100),
+        );
+        let mut rnd = RandomPlayer::new(6);
+        let rec = play_game::<TicTacToe>(&mut mcts, &mut rnd);
+        assert!(!rec.depth_trace_p1.is_empty());
+        assert!(rec.depth_trace_p1.iter().any(|&d| d > 0));
+        assert!(rec.depth_trace_p2.iter().all(|&d| d == 0));
+        assert!(rec.simulations[0] > 0);
+        assert_eq!(rec.simulations[1], 0);
+    }
+}

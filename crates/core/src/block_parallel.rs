@@ -1,0 +1,288 @@
+//! Block parallelism — the paper's contribution (§III.6, Fig. 2c).
+//!
+//! `B` independent trees live on the CPU, one per GPU *block*. Each
+//! iteration the host performs selection + expansion on **every** tree
+//! sequentially (this is the sequential part that grows with `B` and caps
+//! simulations/second — Fig. 5), uploads the `B` frontier positions, and
+//! launches a single kernel: block `b`'s threads all simulate tree `b`'s
+//! position, a leaf-parallel batch per tree. Results are read back,
+//! backpropagated per tree, and at the end root statistics are merged
+//! across trees exactly as in root parallelism.
+//!
+//! The scheme matches the hardware hierarchy (Fig. 3): warps stay
+//! divergence-coherent because all lanes of a block simulate the same
+//! position, while distinct blocks/trees need no communication at all.
+
+use crate::config::{MctsConfig, SearchBudget};
+use crate::gpu::{aggregate, PlayoutKernel};
+use crate::searcher::{BudgetTracker, SearchReport, Searcher};
+use crate::tree::{best_from_stats, merge_root_stats, SearchTree};
+use pmcts_games::Game;
+use pmcts_gpu_sim::{Device, LaunchConfig};
+use pmcts_util::{SimTime, Xoshiro256pp};
+
+/// Block-parallel GPU searcher: one MCTS tree per GPU block.
+#[derive(Clone, Debug)]
+pub struct BlockParallelSearcher<G: Game> {
+    config: MctsConfig,
+    device: Device,
+    launch: LaunchConfig,
+    stream: u64,
+    rng: Xoshiro256pp,
+    epoch: u64,
+    _game: std::marker::PhantomData<fn() -> G>,
+}
+
+impl<G: Game> BlockParallelSearcher<G> {
+    /// Creates a block-parallel searcher with `launch.blocks` trees and
+    /// `launch.threads_per_block` simulations per tree per iteration.
+    pub fn new(config: MctsConfig, device: Device, launch: LaunchConfig) -> Self {
+        Self::with_stream(config, device, launch, 0)
+    }
+
+    /// Like [`new`](Self::new) but on RNG sub-stream `stream` (one stream
+    /// per MPI rank in the multi-GPU setting).
+    pub fn with_stream(
+        config: MctsConfig,
+        device: Device,
+        launch: LaunchConfig,
+        stream: u64,
+    ) -> Self {
+        let rng = Xoshiro256pp::derive(config.seed, 0xB10C ^ stream);
+        BlockParallelSearcher {
+            config,
+            device,
+            launch,
+            stream,
+            rng,
+            epoch: 0,
+            _game: std::marker::PhantomData,
+        }
+    }
+
+    /// The launch geometry (blocks = trees).
+    pub fn launch_config(&self) -> LaunchConfig {
+        self.launch
+    }
+
+    /// Number of trees (= blocks).
+    pub fn trees(&self) -> u32 {
+        self.launch.blocks
+    }
+
+    fn next_stream_seed(&mut self) -> u64 {
+        self.epoch += 1;
+        self.config
+            .seed
+            .wrapping_add(self.stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(self.epoch.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Runs the search, returning per-tree trees for callers that need them
+    /// (the hybrid scheme). Public API users call `Searcher::search`.
+    pub(crate) fn search_trees(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+    ) -> (Vec<SearchTree<G>>, BudgetTracker, u64) {
+        let blocks = self.launch.blocks as usize;
+        let tpb = self.launch.threads_per_block as usize;
+        let mut trees: Vec<SearchTree<G>> = (0..blocks).map(|_| SearchTree::new(root)).collect();
+        let mut tracker = BudgetTracker::new(budget);
+        let mut simulations = 0u64;
+        let cpu = self.config.cpu_cost;
+
+        if trees[0].node(0).is_terminal() {
+            return (trees, tracker, 0);
+        }
+
+        while tracker.may_continue() {
+            // Host-sequential part: selection + expansion on every tree.
+            let mut host_cost = cpu.launch_prep;
+            let mut frontier: Vec<(u32, G)> = Vec::with_capacity(blocks);
+            for tree in trees.iter_mut() {
+                let selected = tree.select(self.config.exploration_c);
+                let node = if !tree.node(selected).fully_expanded() {
+                    tree.expand(selected, &mut self.rng)
+                } else {
+                    selected
+                };
+                host_cost += cpu.tree_op(tree.node(node).depth);
+                frontier.push((node, tree.node(node).state));
+            }
+
+            // One launch simulates every tree's frontier node.
+            let kernel = PlayoutKernel::new(
+                frontier.iter().map(|&(_, s)| s).collect(),
+                self.next_stream_seed(),
+            );
+            let upload = self.device.spec().transfer_time(kernel.upload_bytes());
+            let result = self.device.launch(&kernel, self.launch);
+
+            // Read back per-block and backpropagate into each tree —
+            // host-sequential as well.
+            for (b, tree) in trees.iter_mut().enumerate() {
+                let lanes = &result.outputs[b * tpb..(b + 1) * tpb];
+                let (wins_p1, n) = aggregate(lanes);
+                tree.backprop(frontier[b].0, wins_p1, n);
+                simulations += n;
+            }
+
+            tracker.charge(host_cost + upload + result.stats.elapsed());
+        }
+
+        (trees, tracker, simulations)
+    }
+}
+
+/// Merges per-tree reports into one `SearchReport` (shared with hybrid).
+pub(crate) fn report_from_trees<G: Game>(
+    config: &MctsConfig,
+    trees: &[SearchTree<G>],
+    tracker: &BudgetTracker,
+    simulations: u64,
+) -> SearchReport<G::Move> {
+    let merged = merge_root_stats(&trees.iter().map(|t| t.root_stats()).collect::<Vec<_>>());
+    SearchReport {
+        best_move: best_from_stats(&merged, config.final_move),
+        simulations,
+        iterations: tracker.iterations,
+        tree_nodes: trees.iter().map(|t| t.len() as u64).sum(),
+        max_depth: trees.iter().map(|t| t.max_depth()).max().unwrap_or(0),
+        elapsed: tracker.elapsed,
+        root_stats: merged,
+    }
+}
+
+impl<G: Game> Searcher<G> for BlockParallelSearcher<G> {
+    fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
+        let (trees, tracker, sims) = self.search_trees(root, budget);
+        report_from_trees(&self.config, &trees, &tracker, sims)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "block parallelism ({} blocks × {} threads)",
+            self.launch.blocks, self.launch.threads_per_block
+        )
+    }
+}
+
+/// Estimated virtual cost of ONE block-parallel iteration — exposed so the
+/// Fig. 5 speed analysis can decompose kernel vs host-sequential time.
+pub fn iteration_cost_breakdown<G: Game>(
+    config: &MctsConfig,
+    device: &Device,
+    launch: &LaunchConfig,
+    avg_depth: u32,
+) -> (SimTime, SimTime) {
+    let cpu = config.cpu_cost;
+    let host = cpu.launch_prep + cpu.tree_op(avg_depth) * launch.blocks as u64;
+    let upload = device
+        .spec()
+        .transfer_time((launch.blocks as usize * std::mem::size_of::<G>()) as u64);
+    (host, upload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcts_games::{Reversi, TicTacToe};
+    use pmcts_gpu_sim::DeviceSpec;
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::tesla_c2050())
+    }
+
+    fn cfg(seed: u64) -> MctsConfig {
+        MctsConfig::default().with_seed(seed)
+    }
+
+    #[test]
+    fn simulations_equal_grid_times_iterations() {
+        let mut s =
+            BlockParallelSearcher::<Reversi>::new(cfg(1), device(), LaunchConfig::new(4, 32));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(5));
+        assert_eq!(r.iterations, 5);
+        assert_eq!(r.simulations, 5 * 4 * 32);
+        // One expansion per tree per iteration: 4 roots + 4*5 nodes.
+        assert_eq!(r.tree_nodes, 4 + 20);
+    }
+
+    #[test]
+    fn root_stats_are_merged_across_trees() {
+        let mut s =
+            BlockParallelSearcher::<Reversi>::new(cfg(2), device(), LaunchConfig::new(8, 32));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(6));
+        let total: u64 = r.root_stats.iter().map(|st| st.visits).sum();
+        assert_eq!(total, r.simulations);
+        // All 4 opening moves should be explored across 8 trees.
+        assert_eq!(r.root_stats.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_stream() {
+        let run = |seed, stream| {
+            BlockParallelSearcher::<Reversi>::with_stream(
+                cfg(seed),
+                device(),
+                LaunchConfig::new(4, 32),
+                stream,
+            )
+            .search(Reversi::initial(), SearchBudget::Iterations(4))
+        };
+        assert_eq!(run(3, 0).root_stats, run(3, 0).root_stats);
+        assert_ne!(run(3, 0).root_stats, run(3, 1).root_stats);
+        assert_ne!(run(3, 0).root_stats, run(4, 0).root_stats);
+    }
+
+    #[test]
+    fn more_blocks_cost_more_host_time_per_iteration() {
+        // The paper's key observation: more trees ⇒ more sequential CPU
+        // work ⇒ fewer simulations per second.
+        let sims_per_sec = |blocks| {
+            let mut s = BlockParallelSearcher::<Reversi>::new(
+                cfg(4),
+                device(),
+                LaunchConfig::new(blocks, 32),
+            );
+            let r = s.search(Reversi::initial(), SearchBudget::Iterations(6));
+            r.sims_per_second() / (blocks as f64 * 32.0) // per-thread rate
+        };
+        let few = sims_per_sec(2);
+        let many = sims_per_sec(64);
+        assert!(
+            many < few,
+            "per-thread throughput should drop with tree count: {many} !< {few}"
+        );
+    }
+
+    #[test]
+    fn finds_tactical_move() {
+        let s = TicTacToe::parse("XX. OO. ...", pmcts_games::Player::P1).unwrap();
+        let mut searcher =
+            BlockParallelSearcher::<TicTacToe>::new(cfg(5), device(), LaunchConfig::new(4, 32));
+        let r = searcher.search(s, SearchBudget::Iterations(40));
+        assert_eq!(r.best_move, Some(2));
+    }
+
+    #[test]
+    fn terminal_root_is_handled() {
+        let s = TicTacToe::parse("XXX OO. ...", pmcts_games::Player::P2).unwrap();
+        let mut searcher =
+            BlockParallelSearcher::<TicTacToe>::new(cfg(6), device(), LaunchConfig::new(2, 32));
+        let r = searcher.search(s, SearchBudget::Iterations(5));
+        assert_eq!(r.best_move, None);
+        assert_eq!(r.simulations, 0);
+    }
+
+    #[test]
+    fn trees_develop_independently() {
+        let mut s =
+            BlockParallelSearcher::<Reversi>::new(cfg(7), device(), LaunchConfig::new(2, 32));
+        let (trees, _, _) = s.search_trees(Reversi::initial(), SearchBudget::Iterations(10));
+        // Two trees with independent randomness almost surely differ in
+        // their root statistics after 10 iterations.
+        assert_ne!(trees[0].root_stats(), trees[1].root_stats());
+    }
+}

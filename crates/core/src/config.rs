@@ -1,0 +1,131 @@
+//! Search configuration and budgets.
+
+use crate::cost::CpuCostModel;
+use pmcts_util::SimTime;
+
+/// How long a searcher may run.
+///
+/// The paper's experiments fix the *search time* per move ("the time limit
+/// can be specified", §I) — on the simulator that is virtual time, so a GPU
+/// player and a CPU player receive exactly comparable budgets. Iteration
+/// budgets are used by tests that need exact determinism independent of the
+/// cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchBudget {
+    /// Run exactly this many MCTS iterations (an iteration may contain many
+    /// simulations on the parallel searchers).
+    Iterations(u64),
+    /// Run until this much virtual time is spent.
+    VirtualTime(SimTime),
+}
+
+impl SearchBudget {
+    /// A virtual-time budget in milliseconds — the unit the figure
+    /// regenerators use.
+    pub fn millis(ms: u64) -> Self {
+        SearchBudget::VirtualTime(SimTime::from_millis(ms))
+    }
+}
+
+/// Parameters shared by every MCTS variant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MctsConfig {
+    /// UCB exploration constant `C` (paper §II.1). The classic UCT value is
+    /// `sqrt(2)`; Reversi play is fairly insensitive in `[0.7, 2]`.
+    pub exploration_c: f64,
+    /// Base RNG seed; every thread/block/lane derives an independent stream.
+    pub seed: u64,
+    /// Virtual cost model for host-side operations.
+    pub cpu_cost: CpuCostModel,
+    /// How the final move is chosen from root statistics.
+    pub final_move: FinalMoveRule,
+}
+
+/// Rule for picking the move to play after search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FinalMoveRule {
+    /// Most-visited root child ("robust child") — the standard, and what the
+    /// merged root statistics of root/block parallelism use.
+    RobustChild,
+    /// Highest mean value ("max child"); offered for the final-selection
+    /// ablation.
+    MaxChild,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            exploration_c: std::f64::consts::SQRT_2,
+            seed: 0x00C0_FFEE,
+            cpu_cost: CpuCostModel::xeon_x5670(),
+            final_move: FinalMoveRule::RobustChild,
+        }
+    }
+}
+
+impl MctsConfig {
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the exploration constant.
+    pub fn with_exploration(mut self, c: f64) -> Self {
+        assert!(
+            c.is_finite() && c >= 0.0,
+            "exploration constant must be ≥ 0"
+        );
+        self.exploration_c = c;
+        self
+    }
+
+    /// Replaces the CPU cost model.
+    pub fn with_cpu_cost(mut self, cost: CpuCostModel) -> Self {
+        self.cpu_cost = cost;
+        self
+    }
+
+    /// Replaces the final-move rule.
+    pub fn with_final_move(mut self, rule: FinalMoveRule) -> Self {
+        self.final_move = rule;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = MctsConfig::default();
+        assert!((c.exploration_c - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(c.final_move, FinalMoveRule::RobustChild);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = MctsConfig::default()
+            .with_seed(42)
+            .with_exploration(1.0)
+            .with_final_move(FinalMoveRule::MaxChild);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.exploration_c, 1.0);
+        assert_eq!(c.final_move, FinalMoveRule::MaxChild);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn negative_exploration_rejected() {
+        MctsConfig::default().with_exploration(-1.0);
+    }
+
+    #[test]
+    fn budget_millis_helper() {
+        assert_eq!(
+            SearchBudget::millis(5),
+            SearchBudget::VirtualTime(SimTime::from_millis(5))
+        );
+    }
+}

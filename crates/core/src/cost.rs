@@ -1,0 +1,116 @@
+//! Virtual-time cost model for host-side (CPU) work.
+//!
+//! The simulator executes everything on the host, so "how long would this
+//! have taken on the paper's Xeon X5670" is modelled explicitly, mirroring
+//! how the GPU's cost is modelled in `pmcts-gpu-sim`. Three quantities
+//! matter to the experiments:
+//!
+//! * the cost of one CPU playout (sets the strength of the sequential
+//!   baseline and of root-parallel CPU players);
+//! * the cost of one tree operation — selection + expansion +
+//!   backpropagation (this is the *sequential part* that grows with the
+//!   number of blocks/trees in the block-parallel scheme and caps its
+//!   simulations/second, paper Fig. 5);
+//! * small per-launch host bookkeeping.
+
+use pmcts_util::SimTime;
+
+/// Cost model of host-side MCTS operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuCostModel {
+    /// Cost of one playout ply on the CPU (move gen + flip + RNG).
+    pub playout_ply: SimTime,
+    /// Fixed cost of one tree iteration (selection/expansion/backprop
+    /// bookkeeping, allocator traffic).
+    pub tree_op_base: SimTime,
+    /// Additional cost per ply of tree depth traversed during selection and
+    /// backpropagation.
+    pub tree_op_per_depth: SimTime,
+    /// Host bookkeeping per kernel launch (argument marshalling, driver
+    /// call setup) — charged once per launch on top of the device's own
+    /// launch overhead.
+    pub launch_prep: SimTime,
+}
+
+impl CpuCostModel {
+    /// One core of the Intel Xeon X5670 in TSUBAME 2.0.
+    ///
+    /// Calibration (DESIGN.md §6): ≈10⁴ playouts/second/core for Reversi as
+    /// in the authors' CPU study (ref \[4\]) ⇒ ~1.6 µs per ply at ~60 plies
+    /// per game. A tree operation costs ~10 µs + 40 ns per ply of depth —
+    /// this covers selection, expansion, backpropagation *and* the per-tree
+    /// kernel argument marshalling / result handling that the paper calls
+    /// the sequential CPU part (it is what separates the block-parallel
+    /// curves from leaf parallelism in Fig. 5).
+    pub fn xeon_x5670() -> Self {
+        CpuCostModel {
+            playout_ply: SimTime::from_nanos(1_600),
+            tree_op_base: SimTime::from_micros(10),
+            tree_op_per_depth: SimTime::from_nanos(40),
+            launch_prep: SimTime::from_micros(2),
+        }
+    }
+
+    /// A zero-cost model for tests that budget by iterations.
+    pub fn free() -> Self {
+        CpuCostModel {
+            playout_ply: SimTime::ZERO,
+            tree_op_base: SimTime::ZERO,
+            tree_op_per_depth: SimTime::ZERO,
+            launch_prep: SimTime::ZERO,
+        }
+    }
+
+    /// Virtual cost of a CPU playout of `plies` moves.
+    #[inline]
+    pub fn playout(&self, plies: u32) -> SimTime {
+        self.playout_ply * plies as u64
+    }
+
+    /// Virtual cost of one tree operation reaching `depth`.
+    #[inline]
+    pub fn tree_op(&self, depth: u32) -> SimTime {
+        self.tree_op_base + self.tree_op_per_depth * depth as u64
+    }
+
+    /// Approximate playouts/second this model yields for games averaging
+    /// `avg_plies` plies (diagnostic, used by bench output).
+    pub fn playouts_per_second(&self, avg_plies: u32) -> f64 {
+        let per = self.playout(avg_plies) + self.tree_op(16);
+        if per == SimTime::ZERO {
+            f64::INFINITY
+        } else {
+            1e9 / per.as_nanos() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_calibration_near_10k_playouts_per_second() {
+        let m = CpuCostModel::xeon_x5670();
+        let rate = m.playouts_per_second(60);
+        assert!(
+            (7_000.0..14_000.0).contains(&rate),
+            "calibrated rate {rate} strayed from ~10k/s"
+        );
+    }
+
+    #[test]
+    fn costs_scale_linearly() {
+        let m = CpuCostModel::xeon_x5670();
+        assert_eq!(m.playout(10) * 2, m.playout(20));
+        assert!(m.tree_op(30) > m.tree_op(0));
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        let m = CpuCostModel::free();
+        assert_eq!(m.playout(1000), SimTime::ZERO);
+        assert_eq!(m.tree_op(1000), SimTime::ZERO);
+        assert!(m.playouts_per_second(60).is_infinite());
+    }
+}

@@ -1,0 +1,201 @@
+//! Leaf parallelism on the (simulated) GPU — paper §III.5, Fig. 2a.
+//!
+//! One search tree lives on the CPU. Each iteration selects and expands one
+//! node, then launches a kernel in which **every** thread of the whole grid
+//! plays an independent playout from that same node; the result array is
+//! read back and backpropagated as one batch. "The obtained result is the
+//! same as in the basic CPU version except that the number of simulations
+//! is greater and the accuracy is better" — but all those simulations
+//! sample one node, which is why its playing strength saturates (Fig. 6).
+
+use crate::config::{MctsConfig, SearchBudget};
+use crate::gpu::{aggregate, PlayoutKernel};
+use crate::searcher::{BudgetTracker, SearchReport, Searcher};
+use crate::tree::SearchTree;
+use pmcts_games::Game;
+use pmcts_gpu_sim::{Device, LaunchConfig};
+use pmcts_util::Xoshiro256pp;
+
+/// Leaf-parallel GPU searcher.
+#[derive(Clone, Debug)]
+pub struct LeafParallelSearcher<G: Game> {
+    config: MctsConfig,
+    device: Device,
+    launch: LaunchConfig,
+    stream: u64,
+    rng: Xoshiro256pp,
+    epoch: u64,
+    _game: std::marker::PhantomData<fn() -> G>,
+}
+
+impl<G: Game> LeafParallelSearcher<G> {
+    /// Creates a leaf-parallel searcher launching `launch` on `device`.
+    pub fn new(config: MctsConfig, device: Device, launch: LaunchConfig) -> Self {
+        Self::with_stream(config, device, launch, 0)
+    }
+
+    /// Like [`new`](Self::new) but drawing randomness from sub-stream
+    /// `stream` of the seed (for multi-searcher experiments).
+    pub fn with_stream(
+        config: MctsConfig,
+        device: Device,
+        launch: LaunchConfig,
+        stream: u64,
+    ) -> Self {
+        let rng = Xoshiro256pp::derive(config.seed, 0x1EAF ^ stream);
+        LeafParallelSearcher {
+            config,
+            device,
+            launch,
+            stream,
+            rng,
+            epoch: 0,
+            _game: std::marker::PhantomData,
+        }
+    }
+
+    /// The launch geometry in use.
+    pub fn launch_config(&self) -> LaunchConfig {
+        self.launch
+    }
+
+    /// Simulations per host iteration (= grid size).
+    pub fn sims_per_iteration(&self) -> u64 {
+        self.launch.total_threads() as u64
+    }
+
+    fn next_stream_seed(&mut self) -> u64 {
+        self.epoch += 1;
+        self.config
+            .seed
+            .wrapping_add(self.stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(self.epoch.wrapping_mul(0xD134_2543_DE82_EF95))
+    }
+}
+
+impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
+    fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
+        let mut tree = SearchTree::new(root);
+        let mut tracker = BudgetTracker::new(budget);
+        let mut simulations = 0u64;
+        let cpu = self.config.cpu_cost;
+
+        if !tree.node(tree.root()).is_terminal() {
+            while tracker.may_continue() {
+                // Selection + expansion on the host.
+                let selected = tree.select(self.config.exploration_c);
+                let node = if !tree.node(selected).fully_expanded() {
+                    tree.expand(selected, &mut self.rng)
+                } else {
+                    selected
+                };
+                let depth = tree.node(node).depth;
+
+                // One kernel launch: the whole grid simulates this node.
+                let kernel =
+                    PlayoutKernel::new(vec![tree.node(node).state], self.next_stream_seed());
+                let upload = self.device.spec().transfer_time(kernel.upload_bytes());
+                let result = self.device.launch(&kernel, self.launch);
+                let (wins_p1, n) = aggregate(&result.outputs);
+                tree.backprop(node, wins_p1, n);
+                simulations += n;
+
+                tracker
+                    .charge(cpu.tree_op(depth) + cpu.launch_prep + upload + result.stats.elapsed());
+            }
+        }
+
+        SearchReport {
+            best_move: tree.best_move(self.config.final_move),
+            simulations,
+            iterations: tracker.iterations,
+            tree_nodes: tree.len() as u64,
+            max_depth: tree.max_depth(),
+            elapsed: tracker.elapsed,
+            root_stats: tree.root_stats(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "leaf parallelism ({} blocks × {} threads)",
+            self.launch.blocks, self.launch.threads_per_block
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcts_games::{Reversi, TicTacToe};
+    use pmcts_gpu_sim::DeviceSpec;
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::tesla_c2050())
+    }
+
+    fn cfg(seed: u64) -> MctsConfig {
+        MctsConfig::default().with_seed(seed)
+    }
+
+    #[test]
+    fn one_iteration_runs_grid_size_simulations() {
+        let mut s =
+            LeafParallelSearcher::<Reversi>::new(cfg(1), device(), LaunchConfig::new(4, 64));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(3));
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.simulations, 3 * 256);
+        assert_eq!(r.tree_nodes, 4); // root + one expansion per iteration
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            LeafParallelSearcher::<Reversi>::new(cfg(seed), device(), LaunchConfig::new(2, 32))
+                .search(Reversi::initial(), SearchBudget::Iterations(8))
+        };
+        let a = run(9);
+        let b = run(9);
+        let c = run(10);
+        assert_eq!(a.root_stats, b.root_stats);
+        assert_eq!(a.best_move, b.best_move);
+        assert_ne!(a.root_stats, c.root_stats);
+    }
+
+    #[test]
+    fn virtual_time_includes_kernel_cost() {
+        let mut s =
+            LeafParallelSearcher::<Reversi>::new(cfg(2), device(), LaunchConfig::new(14, 64));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(2));
+        // Two launches must cost at least two launch overheads.
+        assert!(r.elapsed >= device().spec().launch_overhead * 2);
+    }
+
+    #[test]
+    fn picks_winning_move_in_tictactoe() {
+        let s = TicTacToe::parse("XX. OO. ...", pmcts_games::Player::P1).unwrap();
+        let mut searcher =
+            LeafParallelSearcher::<TicTacToe>::new(cfg(3), device(), LaunchConfig::new(2, 32));
+        let r = searcher.search(s, SearchBudget::Iterations(60));
+        assert_eq!(r.best_move, Some(2));
+    }
+
+    #[test]
+    fn terminal_root_reports_no_move() {
+        let s = TicTacToe::parse("XXX OO. ...", pmcts_games::Player::P2).unwrap();
+        let mut searcher =
+            LeafParallelSearcher::<TicTacToe>::new(cfg(4), device(), LaunchConfig::new(1, 32));
+        let r = searcher.search(s, SearchBudget::Iterations(5));
+        assert_eq!(r.best_move, None);
+        assert_eq!(r.simulations, 0);
+    }
+
+    #[test]
+    fn root_visits_match_simulations() {
+        let mut s =
+            LeafParallelSearcher::<Reversi>::new(cfg(5), device(), LaunchConfig::new(2, 32));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(10));
+        let total: u64 = r.root_stats.iter().map(|st| st.visits).sum();
+        assert_eq!(total, r.simulations);
+    }
+}

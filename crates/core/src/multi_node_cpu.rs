@@ -1,0 +1,172 @@
+//! Massively parallel CPU root parallelism over MPI — the authors' earlier
+//! system (ref \[4\], "Massively Parallel Monte Carlo Tree Search", which
+//! the paper's introduction says ran on thousands of CPU threads) rebuilt
+//! on the simulated MPI substrate.
+//!
+//! Each rank models one multi-core node running [`RootParallelSearcher`]
+//! with `threads_per_rank` trees; rank statistics are merged with an
+//! allreduce exactly like the multi-GPU searcher. This completes the
+//! CPU-side scaling story behind Fig. 7's 2…256-thread sweep: 256 threads
+//! is 22 nodes of the paper's 12-core Xeon X5670 machines.
+
+use crate::config::{MctsConfig, SearchBudget};
+use crate::root_parallel::RootParallelSearcher;
+use crate::searcher::{SearchReport, Searcher};
+use crate::tree::{best_from_stats, merge_root_stats, RootStat};
+use pmcts_games::Game;
+use pmcts_mpi_sim::{NetworkModel, World};
+use pmcts_util::SimTime;
+
+/// Root parallelism across `ranks` simulated cluster nodes with
+/// `threads_per_rank` CPU threads each.
+#[derive(Clone, Debug)]
+pub struct MultiNodeCpuSearcher<G: Game> {
+    config: MctsConfig,
+    ranks: usize,
+    threads_per_rank: usize,
+    network: NetworkModel,
+    generation: u64,
+    _game: std::marker::PhantomData<fn() -> G>,
+}
+
+impl<G: Game> MultiNodeCpuSearcher<G> {
+    /// Creates a multi-node CPU searcher.
+    pub fn new(
+        config: MctsConfig,
+        ranks: usize,
+        threads_per_rank: usize,
+        network: NetworkModel,
+    ) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        assert!(threads_per_rank > 0, "need at least one thread per rank");
+        MultiNodeCpuSearcher {
+            config,
+            ranks,
+            threads_per_rank,
+            network,
+            generation: 0,
+            _game: std::marker::PhantomData,
+        }
+    }
+
+    /// Total simulated CPU threads across the cluster.
+    pub fn total_threads(&self) -> usize {
+        self.ranks * self.threads_per_rank
+    }
+}
+
+impl<G: Game> Searcher<G> for MultiNodeCpuSearcher<G> {
+    fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
+        self.generation += 1;
+        let gen = self.generation;
+        let config = self.config.clone();
+        let ranks = self.ranks;
+        let tpr = self.threads_per_rank;
+        // One real worker per rank: the rank's trees are already virtual.
+        let workers_per_rank = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .div_ceil(ranks)
+            .max(1);
+
+        type RankResult<M> = (SearchReport<M>, Vec<RootStat<M>>);
+        let per_rank: Vec<RankResult<G::Move>> = World::run(ranks, self.network, |comm| {
+            let stream_base = (gen * ranks as u64 + comm.rank() as u64) << 20;
+            let mut searcher =
+                RootParallelSearcher::<G>::with_stream(config.clone(), tpr, stream_base)
+                    .with_workers(workers_per_rank);
+            let report = searcher.search(root, budget);
+            let merged =
+                comm.allreduce(report.root_stats.clone(), |a, b| merge_root_stats(&[a, b]));
+            (report, merged)
+        });
+
+        let merged = per_rank[0].1.clone();
+        let stats_bytes = (merged.len() * std::mem::size_of::<RootStat<G::Move>>()) as u64;
+        let comm_cost = self.network.allreduce_time(stats_bytes, ranks);
+
+        SearchReport {
+            best_move: best_from_stats(&merged, self.config.final_move),
+            simulations: per_rank.iter().map(|(r, _)| r.simulations).sum(),
+            iterations: per_rank.iter().map(|(r, _)| r.iterations).sum(),
+            tree_nodes: per_rank.iter().map(|(r, _)| r.tree_nodes).sum(),
+            max_depth: per_rank.iter().map(|(r, _)| r.max_depth).max().unwrap_or(0),
+            elapsed: per_rank
+                .iter()
+                .map(|(r, _)| r.elapsed)
+                .max()
+                .unwrap_or(SimTime::ZERO)
+                + comm_cost,
+            root_stats: merged,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "multi-node root parallelism ({} ranks × {} CPU threads)",
+            self.ranks, self.threads_per_rank
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcts_games::Reversi;
+
+    fn cfg(seed: u64) -> MctsConfig {
+        MctsConfig::default().with_seed(seed)
+    }
+
+    fn searcher(seed: u64, ranks: usize, tpr: usize) -> MultiNodeCpuSearcher<Reversi> {
+        MultiNodeCpuSearcher::new(cfg(seed), ranks, tpr, NetworkModel::infiniband())
+    }
+
+    #[test]
+    fn simulations_scale_with_cluster_size() {
+        let budget = SearchBudget::Iterations(20);
+        let single = searcher(1, 1, 4).search(Reversi::initial(), budget);
+        let cluster = searcher(1, 4, 4).search(Reversi::initial(), budget);
+        assert_eq!(single.simulations, 4 * 20);
+        assert_eq!(cluster.simulations, 16 * 20);
+        assert_eq!(
+            cluster.root_stats.iter().map(|s| s.visits).sum::<u64>(),
+            320
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let budget = SearchBudget::Iterations(15);
+        let a = searcher(2, 3, 2).search(Reversi::initial(), budget);
+        let b = searcher(2, 3, 2).search(Reversi::initial(), budget);
+        assert_eq!(a.root_stats, b.root_stats);
+        assert_eq!(a.best_move, b.best_move);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+
+    #[test]
+    fn ranks_use_disjoint_streams() {
+        let budget = SearchBudget::Iterations(15);
+        let one = searcher(3, 1, 2).search(Reversi::initial(), budget);
+        let two = searcher(3, 2, 2).search(Reversi::initial(), budget);
+        let doubled: Vec<u64> = one.root_stats.iter().map(|s| s.visits * 2).collect();
+        let merged: Vec<u64> = two.root_stats.iter().map(|s| s.visits).collect();
+        assert_ne!(doubled, merged);
+    }
+
+    #[test]
+    fn elapsed_includes_network_cost() {
+        let budget = SearchBudget::Iterations(10);
+        let ideal = MultiNodeCpuSearcher::<Reversi>::new(cfg(4), 4, 2, NetworkModel::ideal())
+            .search(Reversi::initial(), budget);
+        let real = searcher(4, 4, 2).search(Reversi::initial(), budget);
+        assert!(real.elapsed > ideal.elapsed);
+    }
+
+    #[test]
+    fn total_threads_reported() {
+        assert_eq!(searcher(5, 8, 12).total_threads(), 96);
+        assert!(searcher(5, 8, 12).name().contains("8 ranks × 12"));
+    }
+}

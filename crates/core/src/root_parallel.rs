@@ -1,0 +1,251 @@
+//! Root parallelism on CPU threads — paper Fig. 2b, refs \[3\]\[4\].
+//!
+//! `n` threads build `n` completely independent trees over the same root
+//! (no communication until the end), then root statistics are merged by
+//! summation and the most-visited move wins. This is the scheme the authors
+//! scaled to thousands of CPU cores in ref \[4\] and the baseline the GPU
+//! player is compared against in Fig. 7 ("one GPU can be compared to
+//! 100–200 CPU threads").
+//!
+//! Budget semantics are wall-clock-like: every thread receives the full
+//! virtual budget, because the real threads run concurrently.
+
+use crate::config::{MctsConfig, SearchBudget};
+use crate::searcher::{SearchReport, Searcher};
+use crate::sequential::SequentialSearcher;
+use crate::tree::{best_from_stats, merge_root_stats};
+use pmcts_games::Game;
+
+/// Root-parallel CPU searcher: `n` independent trees, one per simulated
+/// CPU thread.
+///
+/// The number of *simulated* CPU threads (= trees) is decoupled from the
+/// number of real host worker threads: a 256-"CPU" player works fine on a
+/// 8-core machine because every tree's time is virtual. Results are
+/// bit-identical regardless of the host worker count.
+#[derive(Clone, Debug)]
+pub struct RootParallelSearcher<G: Game> {
+    config: MctsConfig,
+    threads: usize,
+    workers: usize,
+    /// Base stream offset so distinct searchers draw disjoint randomness.
+    stream_base: u64,
+    /// Bumped every search so consecutive moves explore differently.
+    generation: u64,
+    _game: std::marker::PhantomData<fn() -> G>,
+}
+
+impl<G: Game> RootParallelSearcher<G> {
+    /// Creates a root-parallel searcher over `threads` simulated CPU
+    /// threads (= trees).
+    pub fn new(config: MctsConfig, threads: usize) -> Self {
+        Self::with_stream(config, threads, 0)
+    }
+
+    /// Like [`new`](Self::new) with an explicit RNG stream base.
+    pub fn with_stream(config: MctsConfig, threads: usize, stream_base: u64) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(threads);
+        RootParallelSearcher {
+            config,
+            threads,
+            workers,
+            stream_base,
+            generation: 0,
+            _game: std::marker::PhantomData,
+        }
+    }
+
+    /// Overrides the number of real host worker threads (virtual timing is
+    /// unaffected). `0` is treated as 1.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1).min(self.threads);
+        self
+    }
+
+    /// Number of simulated CPU threads / trees.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl<G: Game> Searcher<G> for RootParallelSearcher<G> {
+    fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
+        self.generation += 1;
+        let config = self.config.clone();
+        let gen = self.generation;
+        let base = self.stream_base;
+        let trees = self.threads;
+
+        // Each tree is an independent sequential search with its own RNG
+        // stream; trees are distributed over real host workers and merged
+        // at the end (no communication — exactly the paper's scheme).
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut reports: Vec<Option<SearchReport<G::Move>>> = (0..trees).map(|_| None).collect();
+        let mut per_worker: Vec<Vec<(usize, SearchReport<G::Move>)>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|_| {
+                    let config = config.clone();
+                    let next = &next;
+                    scope.spawn(move |_| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= trees {
+                                break;
+                            }
+                            let stream = base
+                                .wrapping_add(i as u64)
+                                .wrapping_add(gen.wrapping_mul(0x1000 * 31));
+                            let mut s =
+                                SequentialSearcher::<G>::with_stream(config.clone(), stream);
+                            mine.push((i, s.search(root, budget)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_worker.push(h.join().expect("root-parallel worker panicked"));
+            }
+        })
+        .expect("root-parallel scope failed");
+        for (i, report) in per_worker.into_iter().flatten() {
+            reports[i] = Some(report);
+        }
+        let reports: Vec<SearchReport<G::Move>> = reports
+            .into_iter()
+            .map(|r| r.expect("tree searched"))
+            .collect();
+
+        let merged = merge_root_stats(
+            &reports
+                .iter()
+                .map(|r| r.root_stats.clone())
+                .collect::<Vec<_>>(),
+        );
+        SearchReport {
+            best_move: best_from_stats(&merged, config.final_move),
+            simulations: reports.iter().map(|r| r.simulations).sum(),
+            iterations: reports.iter().map(|r| r.iterations).sum(),
+            tree_nodes: reports.iter().map(|r| r.tree_nodes).sum(),
+            max_depth: reports.iter().map(|r| r.max_depth).max().unwrap_or(0),
+            // Threads run concurrently: elapsed = the slowest tree.
+            elapsed: reports
+                .iter()
+                .map(|r| r.elapsed)
+                .max()
+                .unwrap_or(pmcts_util::SimTime::ZERO),
+            root_stats: merged,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("root parallelism ({} CPU threads)", self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcts_games::{Reversi, TicTacToe};
+
+    fn cfg(seed: u64) -> MctsConfig {
+        MctsConfig::default().with_seed(seed)
+    }
+
+    #[test]
+    fn merges_simulations_across_threads() {
+        let mut s = RootParallelSearcher::<Reversi>::new(cfg(1), 4);
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(100));
+        assert_eq!(r.simulations, 400, "each thread runs the full budget");
+        let total: u64 = r.root_stats.iter().map(|st| st.visits).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn elapsed_is_max_not_sum() {
+        let mut s = RootParallelSearcher::<Reversi>::new(cfg(2), 8);
+        let budget = pmcts_util::SimTime::from_millis(5);
+        let r = s.search(Reversi::initial(), SearchBudget::VirtualTime(budget));
+        // Concurrent threads: elapsed is one thread's time, near the budget,
+        // not 8x the budget.
+        assert!(r.elapsed >= budget);
+        assert!(r.elapsed < budget * 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            RootParallelSearcher::<Reversi>::new(cfg(seed), 3)
+                .search(Reversi::initial(), SearchBudget::Iterations(50))
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.root_stats, b.root_stats);
+        assert_eq!(a.best_move, b.best_move);
+    }
+
+    #[test]
+    fn threads_explore_distinct_streams() {
+        // With 2 threads the merged stats differ from a single tree doubled.
+        let single = RootParallelSearcher::<Reversi>::new(cfg(6), 1)
+            .search(Reversi::initial(), SearchBudget::Iterations(50));
+        let double = RootParallelSearcher::<Reversi>::new(cfg(6), 2)
+            .search(Reversi::initial(), SearchBudget::Iterations(50));
+        let single_doubled: Vec<u64> = single.root_stats.iter().map(|s| s.visits * 2).collect();
+        let merged: Vec<u64> = double.root_stats.iter().map(|s| s.visits).collect();
+        assert_ne!(single_doubled, merged);
+    }
+
+    #[test]
+    fn finds_tactical_move() {
+        let s = TicTacToe::parse("XX. OO. ...", pmcts_games::Player::P1).unwrap();
+        let mut searcher = RootParallelSearcher::<TicTacToe>::new(cfg(7), 4);
+        let r = searcher.search(s, SearchBudget::Iterations(500));
+        assert_eq!(r.best_move, Some(2));
+    }
+
+    #[test]
+    fn consecutive_searches_use_fresh_randomness() {
+        let mut s = RootParallelSearcher::<Reversi>::new(cfg(8), 2);
+        let a = s.search(Reversi::initial(), SearchBudget::Iterations(30));
+        let b = s.search(Reversi::initial(), SearchBudget::Iterations(30));
+        assert_ne!(
+            a.root_stats, b.root_stats,
+            "generation counter must vary streams between moves"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        RootParallelSearcher::<Reversi>::new(cfg(9), 0);
+    }
+
+    #[test]
+    fn results_independent_of_host_worker_count() {
+        let run = |workers| {
+            RootParallelSearcher::<Reversi>::new(cfg(10), 16)
+                .with_workers(workers)
+                .search(Reversi::initial(), SearchBudget::Iterations(40))
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial.root_stats, parallel.root_stats);
+        assert_eq!(serial.elapsed, parallel.elapsed);
+        assert_eq!(serial.best_move, parallel.best_move);
+    }
+
+    #[test]
+    fn many_simulated_threads_on_few_workers() {
+        // 128 simulated CPU threads must work on a small host.
+        let mut s = RootParallelSearcher::<Reversi>::new(cfg(11), 128).with_workers(4);
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(10));
+        assert_eq!(r.simulations, 128 * 10);
+    }
+}

@@ -1,0 +1,150 @@
+//! The common searcher interface and search reports.
+
+use crate::config::SearchBudget;
+use crate::tree::RootStat;
+use pmcts_games::Game;
+use pmcts_util::SimTime;
+
+/// What a search produced, plus the metrics every figure experiment needs
+/// (simulations/second for Fig. 5, tree depth for Fig. 8, ...).
+#[derive(Clone, Debug)]
+pub struct SearchReport<M> {
+    /// The chosen move (`None` only for terminal root positions or an empty
+    /// budget).
+    pub best_move: Option<M>,
+    /// Total playouts performed (all threads/lanes).
+    pub simulations: u64,
+    /// MCTS iterations driven by the host (one iteration may trigger many
+    /// simulations on parallel searchers).
+    pub iterations: u64,
+    /// Total tree nodes allocated (summed over trees for multi-tree
+    /// schemes).
+    pub tree_nodes: u64,
+    /// Deepest tree node reached (max over trees).
+    pub max_depth: u32,
+    /// Virtual time consumed.
+    pub elapsed: SimTime,
+    /// Merged root statistics (for analysis and cross-tree merging).
+    pub root_stats: Vec<RootStat<M>>,
+}
+
+impl<M> SearchReport<M> {
+    /// Simulations per virtual second.
+    pub fn sims_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.simulations as f64 / secs
+        }
+    }
+}
+
+/// A move-search algorithm.
+///
+/// Searchers are stateful only in their RNG streams: two `search` calls on
+/// equal inputs from a freshly built searcher give identical reports.
+pub trait Searcher<G: Game>: Send {
+    /// Searches `root` within `budget` and reports the best move found.
+    fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move>;
+
+    /// Human-readable description, e.g.
+    /// `"block parallelism (64 blocks × 64 threads)"`.
+    fn name(&self) -> String;
+}
+
+impl<G: Game> Searcher<G> for Box<dyn Searcher<G>> {
+    fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
+        (**self).search(root, budget)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// Budget bookkeeping shared by the searcher implementations.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BudgetTracker {
+    budget: SearchBudget,
+    pub iterations: u64,
+    pub elapsed: SimTime,
+}
+
+impl BudgetTracker {
+    pub(crate) fn new(budget: SearchBudget) -> Self {
+        BudgetTracker {
+            budget,
+            iterations: 0,
+            elapsed: SimTime::ZERO,
+        }
+    }
+
+    /// Whether another iteration may start.
+    pub(crate) fn may_continue(&self) -> bool {
+        match self.budget {
+            SearchBudget::Iterations(n) => self.iterations < n,
+            SearchBudget::VirtualTime(t) => self.elapsed < t,
+        }
+    }
+
+    /// Records one completed iteration costing `cost`.
+    pub(crate) fn charge(&mut self, cost: SimTime) {
+        self.iterations += 1;
+        self.elapsed += cost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sims_per_second() {
+        let r = SearchReport::<u8> {
+            best_move: None,
+            simulations: 500,
+            iterations: 500,
+            tree_nodes: 1,
+            max_depth: 0,
+            elapsed: SimTime::from_millis(500),
+            root_stats: vec![],
+        };
+        assert!((r.sims_per_second() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elapsed_gives_zero_rate() {
+        let r = SearchReport::<u8> {
+            best_move: None,
+            simulations: 10,
+            iterations: 10,
+            tree_nodes: 1,
+            max_depth: 0,
+            elapsed: SimTime::ZERO,
+            root_stats: vec![],
+        };
+        assert_eq!(r.sims_per_second(), 0.0);
+    }
+
+    #[test]
+    fn iteration_budget_counts() {
+        let mut t = BudgetTracker::new(SearchBudget::Iterations(2));
+        assert!(t.may_continue());
+        t.charge(SimTime::ZERO);
+        assert!(t.may_continue());
+        t.charge(SimTime::ZERO);
+        assert!(!t.may_continue());
+    }
+
+    #[test]
+    fn time_budget_tracks_virtual_time() {
+        let mut t = BudgetTracker::new(SearchBudget::VirtualTime(SimTime::from_nanos(100)));
+        t.charge(SimTime::from_nanos(60));
+        assert!(t.may_continue());
+        t.charge(SimTime::from_nanos(60));
+        assert!(!t.may_continue());
+        assert_eq!(t.iterations, 2);
+        assert_eq!(t.elapsed, SimTime::from_nanos(120));
+    }
+}

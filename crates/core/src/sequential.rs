@@ -1,0 +1,222 @@
+//! The sequential UCT baseline (paper §II).
+//!
+//! One iteration = selection → expansion (one node) → one random playout →
+//! backpropagation, repeated until the budget is spent. This searcher is
+//! both the reference implementation every parallel scheme is tested
+//! against and the "1 CPU core" opponent of the paper's Figs. 6–7.
+
+use crate::config::{MctsConfig, SearchBudget};
+use crate::searcher::{BudgetTracker, SearchReport, Searcher};
+use crate::tree::SearchTree;
+use pmcts_games::{random_playout, Game, Player};
+use pmcts_util::Xoshiro256pp;
+
+/// Single-threaded UCT searcher.
+#[derive(Clone, Debug)]
+pub struct SequentialSearcher<G: Game> {
+    config: MctsConfig,
+    rng: Xoshiro256pp,
+    _game: std::marker::PhantomData<fn() -> G>,
+}
+
+impl<G: Game> SequentialSearcher<G> {
+    /// Creates a searcher; the RNG stream is derived from `config.seed`.
+    pub fn new(config: MctsConfig) -> Self {
+        let rng = Xoshiro256pp::derive(config.seed, 0);
+        SequentialSearcher {
+            config,
+            rng,
+            _game: std::marker::PhantomData,
+        }
+    }
+
+    /// Creates a searcher running sub-stream `stream` of the seed — used by
+    /// root parallelism to give every tree an independent stream.
+    pub fn with_stream(config: MctsConfig, stream: u64) -> Self {
+        let rng = Xoshiro256pp::derive(config.seed, stream);
+        SequentialSearcher {
+            config,
+            rng,
+            _game: std::marker::PhantomData,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MctsConfig {
+        &self.config
+    }
+
+    /// Searches `root` and returns the report **and** the search tree, for
+    /// callers that want to analyse the tree afterwards (principal
+    /// variation, shape statistics — see `crate::analysis`).
+    pub fn search_with_tree(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+    ) -> (SearchReport<G::Move>, SearchTree<G>) {
+        let mut tree = SearchTree::new(root);
+        let mut tracker = BudgetTracker::new(budget);
+        let mut simulations = 0u64;
+        if !tree.node(tree.root()).is_terminal() {
+            simulations = self.run_on_tree(&mut tree, &mut tracker);
+        }
+        let report = SearchReport {
+            best_move: tree.best_move(self.config.final_move),
+            simulations,
+            iterations: tracker.iterations,
+            tree_nodes: tree.len() as u64,
+            max_depth: tree.max_depth(),
+            elapsed: tracker.elapsed,
+            root_stats: tree.root_stats(),
+        };
+        (report, tree)
+    }
+
+    /// Runs the search while keeping the tree available to the caller —
+    /// used by the hybrid scheme, which interleaves CPU iterations on a
+    /// shared tree with GPU kernels. Returns simulations performed.
+    pub(crate) fn run_on_tree(
+        &mut self,
+        tree: &mut SearchTree<G>,
+        tracker: &mut BudgetTracker,
+    ) -> u64 {
+        let mut sims = 0;
+        while tracker.may_continue() {
+            sims += self.one_iteration(tree, tracker);
+        }
+        sims
+    }
+
+    /// One full select/expand/simulate/backprop iteration; returns the
+    /// number of simulations performed (always 1 here).
+    pub(crate) fn one_iteration(
+        &mut self,
+        tree: &mut SearchTree<G>,
+        tracker: &mut BudgetTracker,
+    ) -> u64 {
+        let cost = &self.config.cpu_cost;
+        let selected = tree.select(self.config.exploration_c);
+        let node = if !tree.node(selected).fully_expanded() {
+            tree.expand(selected, &mut self.rng)
+        } else {
+            selected // terminal leaf: re-sample its outcome
+        };
+        let depth = tree.node(node).depth;
+        let result = random_playout(tree.node(node).state, &mut self.rng);
+        let wins_p1 = result.reward_for(Player::P1);
+        tree.backprop(node, wins_p1, 1);
+        tracker.charge(cost.tree_op(depth) + cost.playout(result.plies));
+        1
+    }
+}
+
+impl<G: Game> Searcher<G> for SequentialSearcher<G> {
+    fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
+        self.search_with_tree(root, budget).0
+    }
+
+    fn name(&self) -> String {
+        "sequential MCTS (1 CPU core)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcts_games::{MoveBuf, Reversi, TicTacToe};
+
+    fn cfg(seed: u64) -> MctsConfig {
+        MctsConfig::default().with_seed(seed)
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let mut s = SequentialSearcher::<Reversi>::new(cfg(1));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(100));
+        assert_eq!(r.iterations, 100);
+        assert_eq!(r.simulations, 100);
+        assert!(r.tree_nodes > 1 && r.tree_nodes <= 101);
+        assert!(r.best_move.is_some());
+    }
+
+    #[test]
+    fn respects_virtual_time_budget() {
+        let mut s = SequentialSearcher::<Reversi>::new(cfg(2));
+        let budget = pmcts_util::SimTime::from_millis(20);
+        let r = s.search(Reversi::initial(), SearchBudget::VirtualTime(budget));
+        assert!(r.elapsed >= budget, "must stop only after exceeding budget");
+        // With the Xeon model (~10k playouts/s) 20ms is ~200 iterations;
+        // allow a broad band.
+        assert!(
+            (50..=600).contains(&r.iterations),
+            "{} iterations for 20ms budget",
+            r.iterations
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let r1 = SequentialSearcher::<Reversi>::new(cfg(7))
+            .search(Reversi::initial(), SearchBudget::Iterations(500));
+        let r2 = SequentialSearcher::<Reversi>::new(cfg(7))
+            .search(Reversi::initial(), SearchBudget::Iterations(500));
+        assert_eq!(r1.best_move, r2.best_move);
+        assert_eq!(r1.root_stats, r2.root_stats);
+        assert_eq!(r1.elapsed, r2.elapsed);
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let r1 = SequentialSearcher::<Reversi>::with_stream(cfg(7), 1)
+            .search(Reversi::initial(), SearchBudget::Iterations(200));
+        let r2 = SequentialSearcher::<Reversi>::with_stream(cfg(7), 2)
+            .search(Reversi::initial(), SearchBudget::Iterations(200));
+        assert_ne!(r1.root_stats, r2.root_stats);
+    }
+
+    #[test]
+    fn terminal_root_yields_no_move() {
+        let s = TicTacToe::parse("XXX OO. ...", pmcts_games::Player::P2).unwrap();
+        let mut searcher = SequentialSearcher::<TicTacToe>::new(cfg(3));
+        let r = searcher.search(s, SearchBudget::Iterations(50));
+        assert_eq!(r.best_move, None);
+        assert_eq!(r.simulations, 0);
+    }
+
+    #[test]
+    fn finds_immediate_win_in_tictactoe() {
+        // X to move, winning move is cell 2 (completes the top row).
+        let s = TicTacToe::parse("XX. OO. ...", pmcts_games::Player::P1).unwrap();
+        let mut searcher = SequentialSearcher::<TicTacToe>::new(cfg(4));
+        let r = searcher.search(s, SearchBudget::Iterations(2_000));
+        assert_eq!(r.best_move, Some(2));
+    }
+
+    #[test]
+    fn blocks_immediate_loss_in_tictactoe() {
+        // O to move; X threatens cell 2. O must block at 2.
+        let s = TicTacToe::parse("XX. O.. ..O", pmcts_games::Player::P2).unwrap();
+        let mut searcher = SequentialSearcher::<TicTacToe>::new(cfg(5));
+        let r = searcher.search(s, SearchBudget::Iterations(4_000));
+        assert_eq!(r.best_move, Some(2));
+    }
+
+    #[test]
+    fn root_visits_equal_iterations() {
+        let mut s = SequentialSearcher::<Reversi>::new(cfg(6));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(300));
+        let total: u64 = r.root_stats.iter().map(|s| s.visits).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn best_move_is_legal() {
+        let mut s = SequentialSearcher::<Reversi>::new(cfg(8));
+        let state = Reversi::initial();
+        let r = s.search(state, SearchBudget::Iterations(50));
+        let mv = r.best_move.unwrap();
+        let mut buf = MoveBuf::new();
+        state.legal_moves(&mut buf);
+        assert!(buf.contains(&mv));
+    }
+}

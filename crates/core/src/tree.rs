@@ -1,0 +1,511 @@
+//! The arena-allocated search tree.
+//!
+//! Nodes live in one contiguous `Vec` and refer to each other by `u32`
+//! index — no `Rc`/`RefCell` graphs, good locality, trivially cheap to drop
+//! between moves. The tree stores the *game state in every node* (all
+//! bundled games are tiny `Copy` bitboards), which keeps selection free of
+//! move re-application bugs at the cost of a few bytes per node.
+//!
+//! Reward convention: `Node::wins` accumulates reward **for the player who
+//! made the move leading into the node** (i.e. the parent's side to move).
+//! With that convention, selection at any node maximises UCB over its
+//! children using the children's own `wins` directly.
+
+use crate::config::FinalMoveRule;
+use crate::ucb::ucb1;
+use pmcts_games::{Game, MoveBuf, Player};
+use pmcts_util::Rng64;
+
+/// Index of a node within its [`SearchTree`]. The root is always 0.
+pub type NodeId = u32;
+
+/// One node of the search tree.
+#[derive(Clone, Debug)]
+pub struct Node<G: Game> {
+    /// Game state at this node.
+    pub state: G,
+    /// Parent node; `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Move that led from the parent to this node; `None` for the root.
+    pub mv: Option<G::Move>,
+    /// Expanded children.
+    pub children: Vec<NodeId>,
+    /// Legal moves not yet expanded into children.
+    pub untried: MoveBuf<G::Move>,
+    /// Number of simulations that have passed through this node.
+    pub visits: u64,
+    /// Accumulated reward for the player who moved into this node
+    /// (draws contribute ½).
+    pub wins: f64,
+    /// Distance from the root.
+    pub depth: u32,
+}
+
+impl<G: Game> Node<G> {
+    fn new(state: G, parent: Option<NodeId>, mv: Option<G::Move>, depth: u32) -> Self {
+        let mut untried = MoveBuf::new();
+        state.legal_moves(&mut untried);
+        Node {
+            state,
+            parent,
+            mv,
+            children: Vec::new(),
+            untried,
+            visits: 0,
+            wins: 0.0,
+            depth,
+        }
+    }
+
+    /// Whether every legal move has been expanded.
+    #[inline]
+    pub fn fully_expanded(&self) -> bool {
+        self.untried.is_empty()
+    }
+
+    /// Whether the node's state is terminal (no legal moves at creation).
+    #[inline]
+    pub fn is_terminal(&self) -> bool {
+        self.untried.is_empty() && self.children.is_empty()
+    }
+
+    /// Mean reward of this node (½ when unvisited).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.visits == 0 {
+            0.5
+        } else {
+            self.wins / self.visits as f64
+        }
+    }
+}
+
+/// Aggregated statistics for one root move — the unit merged across trees
+/// by root/block/multi-GPU parallelism ("the root node has to be updated by
+/// summing up results from all other trees", paper §II.4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RootStat<M> {
+    /// The move.
+    pub mv: M,
+    /// Total simulations through this move.
+    pub visits: u64,
+    /// Total reward for the root player.
+    pub wins: f64,
+}
+
+/// An arena-allocated MCTS tree.
+#[derive(Clone, Debug)]
+pub struct SearchTree<G: Game> {
+    nodes: Vec<Node<G>>,
+    max_depth: u32,
+}
+
+impl<G: Game> SearchTree<G> {
+    /// Creates a tree containing only the root.
+    pub fn new(root_state: G) -> Self {
+        SearchTree {
+            nodes: vec![Node::new(root_state, None, None, 0)],
+            max_depth: 0,
+        }
+    }
+
+    /// The root node id (always 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Node count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree holds only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Deepest node created so far.
+    #[inline]
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Immutable node access.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node<G> {
+        &self.nodes[id as usize]
+    }
+
+    /// Mutable node access.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node<G> {
+        &mut self.nodes[id as usize]
+    }
+
+    /// MCTS **selection** (paper §II.1): descends from the root choosing
+    /// UCB-maximal children while nodes are fully expanded, returning the
+    /// first node that still has untried moves (or a terminal node).
+    pub fn select(&self, exploration_c: f64) -> NodeId {
+        let mut id = self.root();
+        loop {
+            let node = self.node(id);
+            if !node.fully_expanded() || node.children.is_empty() {
+                return id;
+            }
+            let parent_visits = node.visits;
+            let mut best = node.children[0];
+            let mut best_value = f64::NEG_INFINITY;
+            for &child in &node.children {
+                let c = self.node(child);
+                let value = ucb1(parent_visits, c.visits, c.wins, exploration_c);
+                if value > best_value {
+                    best_value = value;
+                    best = child;
+                }
+            }
+            id = best;
+        }
+    }
+
+    /// MCTS **expansion** (paper §II.2): removes one random untried move of
+    /// `id`, creates the child node and returns its id. Adding one node per
+    /// iteration, as the paper does.
+    ///
+    /// # Panics
+    /// Panics if `id` has no untried moves.
+    pub fn expand<R: Rng64>(&mut self, id: NodeId, rng: &mut R) -> NodeId {
+        let child_id = self.nodes.len() as NodeId;
+        let (state, depth) = {
+            let node = self.node_mut(id);
+            assert!(!node.untried.is_empty(), "expand on fully expanded node");
+            let pick = rng.next_below(node.untried.len() as u32) as usize;
+            let mv = node.untried.swap_remove(pick);
+            let mut state = node.state;
+            state.apply(mv);
+            node.children.push(child_id);
+            let depth = node.depth + 1;
+            self.nodes.push(Node::new(state, Some(id), Some(mv), depth));
+            (state, depth)
+        };
+        let _ = state;
+        self.max_depth = self.max_depth.max(depth);
+        child_id
+    }
+
+    /// MCTS **backpropagation** (paper §II.4) of a batch of simulations.
+    ///
+    /// `count` simulations were run from `from`; `wins_p1` of them were won
+    /// by P1 (draws counted ½). Every ancestor's `visits` grows by `count`
+    /// and its `wins` by the reward of the player who moved into it.
+    pub fn backprop(&mut self, from: NodeId, wins_p1: f64, count: u64) {
+        debug_assert!(wins_p1 >= 0.0 && wins_p1 <= count as f64);
+        let mut id = Some(from);
+        while let Some(cur) = id {
+            let parent = self.node(cur).parent;
+            let reward = match parent {
+                // Perspective: the player who moved into `cur`.
+                Some(p) => match self.node(p).state.to_move() {
+                    Player::P1 => wins_p1,
+                    Player::P2 => count as f64 - wins_p1,
+                },
+                // The root has no mover; only visits matter there.
+                None => 0.0,
+            };
+            let node = self.node_mut(cur);
+            node.visits += count;
+            node.wins += reward;
+            id = parent;
+        }
+    }
+
+    /// Statistics of the root's children, in expansion order. `wins` is
+    /// expressed for the **root player** (the side to move at the root), so
+    /// stats from different trees over the same position merge by addition.
+    pub fn root_stats(&self) -> Vec<RootStat<G::Move>> {
+        let root_player = self.node(self.root()).state.to_move();
+        self.node(self.root())
+            .children
+            .iter()
+            .map(|&c| {
+                let n = self.node(c);
+                // `n.wins` is reward for the mover into `c`, which IS the
+                // root player for depth-1 children.
+                debug_assert_eq!(n.depth, 1);
+                let _ = root_player;
+                RootStat {
+                    mv: n.mv.expect("non-root node has a move"),
+                    visits: n.visits,
+                    wins: n.wins,
+                }
+            })
+            .collect()
+    }
+
+    /// Chooses a move from this tree's root statistics.
+    pub fn best_move(&self, rule: FinalMoveRule) -> Option<G::Move> {
+        best_from_stats(&self.root_stats(), rule)
+    }
+
+    /// Extracts the subtree rooted at `id` as a new tree whose root is that
+    /// node (statistics preserved, depths rebased). This is the *tree
+    /// reuse* operation: after playing a move, the played child's subtree
+    /// carries over to the next search instead of starting cold.
+    pub fn extract_subtree(&self, id: NodeId) -> SearchTree<G> {
+        let src_root = self.node(id);
+        let mut out = SearchTree::new(src_root.state);
+        // Copy the root's statistics and expansion state.
+        {
+            let root = out.node_mut(0);
+            root.visits = src_root.visits;
+            root.wins = src_root.wins;
+            root.untried = src_root.untried;
+            root.children.clear();
+        }
+        // Breadth-first copy with an explicit (source, dest) queue.
+        let mut queue: Vec<(NodeId, NodeId)> = vec![(id, 0)];
+        let mut head = 0;
+        while head < queue.len() {
+            let (src_id, dst_id) = queue[head];
+            head += 1;
+            let children = self.node(src_id).children.clone();
+            for src_child in children {
+                let src = self.node(src_child);
+                let dst_child = out.nodes.len() as NodeId;
+                let depth = out.node(dst_id).depth + 1;
+                out.nodes.push(Node {
+                    state: src.state,
+                    parent: Some(dst_id),
+                    mv: src.mv,
+                    children: Vec::new(),
+                    untried: src.untried,
+                    visits: src.visits,
+                    wins: src.wins,
+                    depth,
+                });
+                out.node_mut(dst_id).children.push(dst_child);
+                out.max_depth = out.max_depth.max(depth);
+                queue.push((src_child, dst_child));
+            }
+        }
+        out
+    }
+
+    /// Finds the most-visited node whose state equals `state`, searching at
+    /// most `max_depth` plies below the root. Used by tree reuse to locate
+    /// the position reached after our move and the opponent's reply.
+    pub fn find_state(&self, state: &G, max_depth: u32) -> Option<NodeId> {
+        (0..self.nodes.len() as NodeId)
+            .filter(|&id| {
+                let n = self.node(id);
+                n.depth <= max_depth && n.state == *state
+            })
+            .max_by_key(|&id| self.node(id).visits)
+    }
+}
+
+/// Chooses a move from (possibly merged) root statistics.
+pub fn best_from_stats<M: Copy>(stats: &[RootStat<M>], rule: FinalMoveRule) -> Option<M> {
+    if stats.is_empty() {
+        return None;
+    }
+    let best = match rule {
+        FinalMoveRule::RobustChild => stats
+            .iter()
+            .max_by_key(|s| s.visits)
+            .expect("non-empty stats"),
+        FinalMoveRule::MaxChild => stats
+            .iter()
+            .max_by(|a, b| {
+                let ma = if a.visits == 0 {
+                    0.0
+                } else {
+                    a.wins / a.visits as f64
+                };
+                let mb = if b.visits == 0 {
+                    0.0
+                } else {
+                    b.wins / b.visits as f64
+                };
+                ma.partial_cmp(&mb).expect("finite means")
+            })
+            .expect("non-empty stats"),
+    };
+    Some(best.mv)
+}
+
+/// Merges root statistics from several trees over the *same* position by
+/// summing per-move visits and wins — the root-parallel merge rule
+/// (paper §II.4).
+pub fn merge_root_stats<M: Copy + Eq>(trees: &[Vec<RootStat<M>>]) -> Vec<RootStat<M>> {
+    let mut merged: Vec<RootStat<M>> = Vec::new();
+    for stats in trees {
+        for s in stats {
+            match merged.iter_mut().find(|m| m.mv == s.mv) {
+                Some(m) => {
+                    m.visits += s.visits;
+                    m.wins += s.wins;
+                }
+                None => merged.push(*s),
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcts_games::{Reversi, TicTacToe};
+    use pmcts_util::Xoshiro256pp;
+
+    #[test]
+    fn new_tree_has_untried_root_moves() {
+        let t = SearchTree::new(Reversi::initial());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.node(t.root()).untried.len(), 4);
+        assert!(!t.node(t.root()).fully_expanded());
+        assert_eq!(t.max_depth(), 0);
+    }
+
+    #[test]
+    fn select_returns_root_until_fully_expanded() {
+        let mut t = SearchTree::new(Reversi::initial());
+        let mut rng = Xoshiro256pp::new(1);
+        for _ in 0..4 {
+            assert_eq!(t.select(1.4), t.root());
+            let child = t.expand(t.root(), &mut rng);
+            t.backprop(child, 1.0, 1);
+        }
+        // Now fully expanded: selection must descend to a child.
+        let picked = t.select(1.4);
+        assert_ne!(picked, t.root());
+        assert_eq!(t.node(picked).depth, 1);
+    }
+
+    #[test]
+    fn expand_consumes_untried_and_links_child() {
+        let mut t = SearchTree::new(Reversi::initial());
+        let mut rng = Xoshiro256pp::new(2);
+        let c = t.expand(t.root(), &mut rng);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.node(t.root()).untried.len(), 3);
+        assert_eq!(t.node(t.root()).children, vec![c]);
+        assert_eq!(t.node(c).parent, Some(t.root()));
+        assert_eq!(t.node(c).depth, 1);
+        assert!(t.node(c).mv.is_some());
+        assert_eq!(t.max_depth(), 1);
+    }
+
+    #[test]
+    fn backprop_updates_whole_path_with_perspectives() {
+        // Reversi root: P1 to move. Child: P2 to move. Grandchild: P1.
+        let mut t = SearchTree::new(Reversi::initial());
+        let mut rng = Xoshiro256pp::new(3);
+        let c = t.expand(t.root(), &mut rng);
+        let gc = t.expand(c, &mut rng);
+        // 10 simulations, 7 won by P1.
+        t.backprop(gc, 7.0, 10);
+        assert_eq!(t.node(t.root()).visits, 10);
+        assert_eq!(t.node(c).visits, 10);
+        assert_eq!(t.node(gc).visits, 10);
+        // Mover into c is P1 (root player) -> wins = 7.
+        assert_eq!(t.node(c).wins, 7.0);
+        // Mover into gc is P2 -> wins = 3.
+        assert_eq!(t.node(gc).wins, 3.0);
+    }
+
+    #[test]
+    fn root_stats_and_robust_child() {
+        let mut t = SearchTree::new(Reversi::initial());
+        let mut rng = Xoshiro256pp::new(4);
+        let a = t.expand(t.root(), &mut rng);
+        let b = t.expand(t.root(), &mut rng);
+        t.backprop(a, 1.0, 2);
+        t.backprop(b, 5.0, 6);
+        let stats = t.root_stats();
+        assert_eq!(stats.len(), 2);
+        let best = t.best_move(FinalMoveRule::RobustChild).unwrap();
+        assert_eq!(best, t.node(b).mv.unwrap(), "robust child = most visited");
+        // MaxChild picks the higher mean: a: 1/2=0.5, b: 5/6≈0.83 -> still b.
+        assert_eq!(t.best_move(FinalMoveRule::MaxChild).unwrap(), best);
+    }
+
+    #[test]
+    fn max_child_differs_from_robust_child_when_means_invert() {
+        let stats = vec![
+            RootStat {
+                mv: 0u8,
+                visits: 100,
+                wins: 55.0,
+            }, // mean .55, most visited
+            RootStat {
+                mv: 1u8,
+                visits: 10,
+                wins: 9.0,
+            }, // mean .9
+        ];
+        assert_eq!(best_from_stats(&stats, FinalMoveRule::RobustChild), Some(0));
+        assert_eq!(best_from_stats(&stats, FinalMoveRule::MaxChild), Some(1));
+    }
+
+    #[test]
+    fn merge_root_stats_sums_matching_moves() {
+        let t1 = vec![
+            RootStat {
+                mv: 3u8,
+                visits: 10,
+                wins: 6.0,
+            },
+            RootStat {
+                mv: 5u8,
+                visits: 4,
+                wins: 1.0,
+            },
+        ];
+        let t2 = vec![
+            RootStat {
+                mv: 5u8,
+                visits: 6,
+                wins: 4.0,
+            },
+            RootStat {
+                mv: 7u8,
+                visits: 1,
+                wins: 1.0,
+            },
+        ];
+        let merged = merge_root_stats(&[t1, t2]);
+        assert_eq!(merged.len(), 3);
+        let five = merged.iter().find(|s| s.mv == 5).unwrap();
+        assert_eq!(five.visits, 10);
+        assert_eq!(five.wins, 5.0);
+    }
+
+    #[test]
+    fn terminal_nodes_are_recognised() {
+        let s = TicTacToe::parse("XXX OO. ...", pmcts_games::Player::P2).unwrap();
+        let t = SearchTree::new(s);
+        assert!(t.node(t.root()).is_terminal());
+        assert_eq!(t.select(1.4), t.root());
+    }
+
+    #[test]
+    fn empty_tree_has_no_best_move() {
+        let s = TicTacToe::parse("XXX OO. ...", pmcts_games::Player::P2).unwrap();
+        let t = SearchTree::new(s);
+        assert_eq!(t.best_move(FinalMoveRule::RobustChild), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "fully expanded")]
+    fn expanding_exhausted_node_panics() {
+        let mut t = SearchTree::new(TicTacToe::initial());
+        let mut rng = Xoshiro256pp::new(5);
+        for _ in 0..10 {
+            t.expand(t.root(), &mut rng);
+        }
+    }
+}

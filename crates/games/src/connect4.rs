@@ -1,0 +1,304 @@
+//! Connect Four on a 7×6 board.
+//!
+//! One of the "other domains" extensions (paper §V). Each player's stones
+//! live in a `u64` using the Fhourstones layout — 7 bits per column (6
+//! playable rows plus a sentinel) — so four-in-a-row detection is four
+//! shift-and-AND probes, cheap enough for Monte Carlo playouts.
+
+use crate::game::{Game, MoveBuf, Outcome, Player};
+use pmcts_util::Rng64;
+
+/// Board width in columns.
+pub const WIDTH: u8 = 7;
+/// Board height in rows.
+pub const HEIGHT: u8 = 6;
+
+/// A Connect Four position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Connect4 {
+    /// Stones of P1 (the first mover, "Red").
+    p1: u64,
+    /// Stones of P2 ("Yellow").
+    p2: u64,
+    /// Next free row per column.
+    heights: [u8; WIDTH as usize],
+    /// Plies played.
+    plies: u8,
+    /// Set when a four-in-a-row has been completed.
+    winner: Option<Player>,
+}
+
+/// Bit index of (col, row), row 0 at the bottom.
+#[inline]
+fn bit(col: u8, row: u8) -> u64 {
+    1u64 << (col * (HEIGHT + 1) + row)
+}
+
+/// Whether `board` contains four in a row.
+#[inline]
+fn has_four(board: u64) -> bool {
+    // Vertical, horizontal, diagonal /, diagonal \ in the 7-bit-column layout.
+    for s in [1u32, 7, 6, 8] {
+        let m = board & (board >> s);
+        if m & (m >> (2 * s)) != 0 {
+            return true;
+        }
+    }
+    false
+}
+
+impl Connect4 {
+    /// Stones of player `p`.
+    pub fn stones(&self, p: Player) -> u64 {
+        match p {
+            Player::P1 => self.p1,
+            Player::P2 => self.p2,
+        }
+    }
+
+    /// Occupant of (col, row) if any.
+    pub fn cell(&self, col: u8, row: u8) -> Option<Player> {
+        assert!(col < WIDTH && row < HEIGHT);
+        let b = bit(col, row);
+        if self.p1 & b != 0 {
+            Some(Player::P1)
+        } else if self.p2 & b != 0 {
+            Some(Player::P2)
+        } else {
+            None
+        }
+    }
+
+    /// Current height (stones) of a column.
+    pub fn height(&self, col: u8) -> u8 {
+        self.heights[col as usize]
+    }
+
+    /// Number of plies played so far.
+    pub fn plies(&self) -> u8 {
+        self.plies
+    }
+}
+
+impl Game for Connect4 {
+    /// A move is a column index `0..7`.
+    type Move = u8;
+
+    const NAME: &'static str = "connect4";
+    const MAX_GAME_LENGTH: usize = 42;
+
+    fn initial() -> Self {
+        Connect4 {
+            p1: 0,
+            p2: 0,
+            heights: [0; WIDTH as usize],
+            plies: 0,
+            winner: None,
+        }
+    }
+
+    #[inline]
+    fn to_move(&self) -> Player {
+        if self.plies.is_multiple_of(2) {
+            Player::P1
+        } else {
+            Player::P2
+        }
+    }
+
+    fn legal_moves(&self, out: &mut MoveBuf<u8>) {
+        out.clear();
+        if self.winner.is_some() {
+            return;
+        }
+        for col in 0..WIDTH {
+            if self.heights[col as usize] < HEIGHT {
+                out.push(col);
+            }
+        }
+    }
+
+    fn apply(&mut self, col: u8) {
+        debug_assert!(self.winner.is_none(), "game already decided");
+        debug_assert!(col < WIDTH && self.heights[col as usize] < HEIGHT);
+        let mover = self.to_move();
+        let row = self.heights[col as usize];
+        let b = bit(col, row);
+        let board = match mover {
+            Player::P1 => {
+                self.p1 |= b;
+                self.p1
+            }
+            Player::P2 => {
+                self.p2 |= b;
+                self.p2
+            }
+        };
+        self.heights[col as usize] += 1;
+        self.plies += 1;
+        if has_four(board) {
+            self.winner = Some(mover);
+        }
+    }
+
+    #[inline]
+    fn is_terminal(&self) -> bool {
+        self.winner.is_some() || self.plies as usize >= Self::MAX_GAME_LENGTH
+    }
+
+    fn outcome(&self) -> Option<Outcome> {
+        if let Some(w) = self.winner {
+            Some(Outcome::Win(w))
+        } else if self.plies as usize >= Self::MAX_GAME_LENGTH {
+            Some(Outcome::Draw)
+        } else {
+            None
+        }
+    }
+
+    fn score(&self) -> i32 {
+        match self.winner {
+            Some(Player::P1) => 1,
+            Some(Player::P2) => -1,
+            None => 0,
+        }
+    }
+
+    #[inline]
+    fn random_move<R: Rng64>(&self, rng: &mut R) -> Option<u8> {
+        if self.is_terminal() {
+            return None;
+        }
+        // Rejection sampling over 7 columns: faster than building the list
+        // while the board is mostly empty, falls back to the list when full.
+        for _ in 0..4 {
+            let col = rng.next_below(WIDTH as u32) as u8;
+            if self.heights[col as usize] < HEIGHT {
+                return Some(col);
+            }
+        }
+        let mut buf = MoveBuf::new();
+        self.legal_moves(&mut buf);
+        if buf.is_empty() {
+            None
+        } else {
+            Some(buf[rng.next_below(buf.len() as u32) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state() {
+        let s = Connect4::initial();
+        assert_eq!(s.to_move(), Player::P1);
+        assert!(!s.is_terminal());
+        let mut buf = MoveBuf::new();
+        s.legal_moves(&mut buf);
+        assert_eq!(buf.as_slice(), &[0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn stones_stack_in_a_column() {
+        let mut s = Connect4::initial();
+        s.apply(3);
+        s.apply(3);
+        s.apply(3);
+        assert_eq!(s.height(3), 3);
+        assert_eq!(s.cell(3, 0), Some(Player::P1));
+        assert_eq!(s.cell(3, 1), Some(Player::P2));
+        assert_eq!(s.cell(3, 2), Some(Player::P1));
+        assert_eq!(s.cell(3, 3), None);
+    }
+
+    #[test]
+    fn vertical_win() {
+        let mut s = Connect4::initial();
+        // P1 stacks column 0; P2 wastes moves in column 1.
+        for _ in 0..3 {
+            s.apply(0);
+            s.apply(1);
+        }
+        assert!(!s.is_terminal());
+        s.apply(0); // fourth in a row
+        assert!(s.is_terminal());
+        assert_eq!(s.outcome(), Some(Outcome::Win(Player::P1)));
+        assert_eq!(s.score(), 1);
+    }
+
+    #[test]
+    fn horizontal_win() {
+        let mut s = Connect4::initial();
+        for col in 0..3 {
+            s.apply(col); // P1
+            s.apply(col); // P2 on top
+        }
+        s.apply(3); // P1 completes 0-1-2-3 on the bottom row
+        assert_eq!(s.outcome(), Some(Outcome::Win(Player::P1)));
+    }
+
+    #[test]
+    fn diagonal_win() {
+        let mut s = Connect4::initial();
+        // Build a / diagonal for P1 at (0,0),(1,1),(2,2),(3,3).
+        let moves = [0u8, 1, 1, 2, 2, 3, 2, 3, 3, 6, 3];
+        for &m in &moves {
+            assert!(!s.is_terminal(), "premature end before move {m}");
+            s.apply(m);
+        }
+        assert_eq!(s.outcome(), Some(Outcome::Win(Player::P1)));
+    }
+
+    #[test]
+    fn full_column_is_removed_from_moves() {
+        let mut s = Connect4::initial();
+        for _ in 0..HEIGHT {
+            s.apply(0);
+        }
+        let mut buf = MoveBuf::new();
+        s.legal_moves(&mut buf);
+        assert!(!buf.contains(&0));
+        assert_eq!(buf.len(), 6);
+    }
+
+    #[test]
+    fn no_winner_after_terminal_not_counted_twice() {
+        let mut s = Connect4::initial();
+        for _ in 0..3 {
+            s.apply(0);
+            s.apply(1);
+        }
+        s.apply(0);
+        let mut buf = MoveBuf::new();
+        s.legal_moves(&mut buf);
+        assert!(buf.is_empty(), "terminal states generate no moves");
+    }
+
+    #[test]
+    fn random_playout_terminates_with_outcome() {
+        use pmcts_util::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::new(9);
+        for _ in 0..50 {
+            let mut s = Connect4::initial();
+            let mut plies = 0;
+            while let Some(mv) = s.random_move(&mut rng) {
+                s.apply(mv);
+                plies += 1;
+                assert!(plies <= Connect4::MAX_GAME_LENGTH);
+            }
+            assert!(s.is_terminal());
+            assert!(s.outcome().is_some());
+        }
+    }
+
+    #[test]
+    fn has_four_no_column_wraparound() {
+        // Three at the top of column 0 plus one at the bottom of column 1
+        // must NOT count as four (the sentinel row prevents it).
+        let board = bit(0, 3) | bit(0, 4) | bit(0, 5) | bit(1, 0);
+        assert!(!has_four(board));
+    }
+}

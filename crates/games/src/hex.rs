@@ -1,0 +1,376 @@
+//! Hex on an N×N rhombus.
+//!
+//! The second "other domain" extension: Hex has no draws, no passes, and a
+//! branching factor of up to N² — a very different tree shape from Reversi,
+//! which stresses the searchers' expansion strategy. P1 ("Red") connects the
+//! top and bottom rows; P2 ("Blue") connects the left and right columns.
+//!
+//! Stones are kept in `u128` bitboards (N ≤ 11 ⇒ ≤ 121 cells). Win detection
+//! is a mask-based flood fill from the player's starting edge, using the six
+//! hexagonal neighbour directions expressed as shifts — the same technique
+//! as the Reversi move generator.
+
+use crate::game::{Game, MoveBuf, Outcome, Player};
+use pmcts_util::Rng64;
+
+/// Hex position on an `N`×`N` board, cell index = `row * N + col`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Hex<const N: usize> {
+    /// P1 ("Red", connects top row to bottom row).
+    red: u128,
+    /// P2 ("Blue", connects left column to right column).
+    blue: u128,
+    /// Plies played.
+    plies: u16,
+    /// Winner, set as soon as a connection is completed.
+    winner: Option<Player>,
+}
+
+/// 5×5 Hex.
+pub type Hex5 = Hex<5>;
+/// 7×7 Hex (default size for tests and examples).
+pub type Hex7 = Hex<7>;
+/// 11×11 Hex (tournament size).
+pub type Hex11 = Hex<11>;
+
+/// Mask of all cells of an N×N board.
+const fn board_mask(n: usize) -> u128 {
+    if n * n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << (n * n)) - 1
+    }
+}
+
+/// Mask of cells NOT in column 0.
+const fn not_first_col(n: usize) -> u128 {
+    let mut m = 0u128;
+    let mut r = 0;
+    while r < n {
+        let mut c = 1;
+        while c < n {
+            m |= 1u128 << (r * n + c);
+            c += 1;
+        }
+        r += 1;
+    }
+    m
+}
+
+/// Mask of cells NOT in column N−1.
+const fn not_last_col(n: usize) -> u128 {
+    let mut m = 0u128;
+    let mut r = 0;
+    while r < n {
+        let mut c = 0;
+        while c + 1 < n {
+            m |= 1u128 << (r * n + c);
+            c += 1;
+        }
+        r += 1;
+    }
+    m
+}
+
+/// Mask of row 0 / row N−1 / col 0 / col N−1.
+const fn edge_masks(n: usize) -> (u128, u128, u128, u128) {
+    let mut top = 0u128;
+    let mut bottom = 0u128;
+    let mut left = 0u128;
+    let mut right = 0u128;
+    let mut i = 0;
+    while i < n {
+        top |= 1u128 << i;
+        bottom |= 1u128 << ((n - 1) * n + i);
+        left |= 1u128 << (i * n);
+        right |= 1u128 << (i * n + n - 1);
+        i += 1;
+    }
+    (top, bottom, left, right)
+}
+
+impl<const N: usize> Hex<N> {
+    const BOARD: u128 = board_mask(N);
+    const NOT_FIRST_COL: u128 = not_first_col(N);
+    const NOT_LAST_COL: u128 = not_last_col(N);
+    const EDGES: (u128, u128, u128, u128) = edge_masks(N);
+
+    /// Stones of player `p`.
+    pub fn stones(&self, p: Player) -> u128 {
+        match p {
+            Player::P1 => self.red,
+            Player::P2 => self.blue,
+        }
+    }
+
+    /// Plies played so far.
+    pub fn plies(&self) -> u16 {
+        self.plies
+    }
+
+    /// Expands `set` by one step of hexagonal adjacency, clipped to the
+    /// board. Neighbours of (r,c): (r,c±1), (r±1,c), (r−1,c+1), (r+1,c−1).
+    #[inline]
+    fn neighbours(set: u128) -> u128 {
+        let e = (set & Self::NOT_LAST_COL) << 1;
+        let w = (set & Self::NOT_FIRST_COL) >> 1;
+        let s = set << N;
+        let n = set >> N;
+        let ne = (set & Self::NOT_LAST_COL) >> (N - 1);
+        let sw = (set & Self::NOT_FIRST_COL) << (N - 1);
+        (e | w | s | n | ne | sw) & Self::BOARD
+    }
+
+    /// Whether `stones` connect `from_edge` to `to_edge` (flood fill).
+    fn connects(stones: u128, from_edge: u128, to_edge: u128) -> bool {
+        let mut reached = stones & from_edge;
+        if reached == 0 {
+            return false;
+        }
+        loop {
+            let grown = reached | (Self::neighbours(reached) & stones);
+            if grown & to_edge != 0 {
+                return true;
+            }
+            if grown == reached {
+                return false;
+            }
+            reached = grown;
+        }
+    }
+
+    /// Whether player `p` has completed their connection.
+    pub fn has_won(&self, p: Player) -> bool {
+        let (top, bottom, left, right) = Self::EDGES;
+        match p {
+            Player::P1 => Self::connects(self.red, top, bottom),
+            Player::P2 => Self::connects(self.blue, left, right),
+        }
+    }
+}
+
+impl<const N: usize> Game for Hex<N> {
+    /// A move is a cell index `0..N²`.
+    type Move = u8;
+
+    const NAME: &'static str = "hex";
+    const MAX_GAME_LENGTH: usize = N * N;
+
+    fn initial() -> Self {
+        assert!(N >= 2 && N * N <= 128, "unsupported Hex size");
+        Hex {
+            red: 0,
+            blue: 0,
+            plies: 0,
+            winner: None,
+        }
+    }
+
+    #[inline]
+    fn to_move(&self) -> Player {
+        if self.plies.is_multiple_of(2) {
+            Player::P1
+        } else {
+            Player::P2
+        }
+    }
+
+    fn legal_moves(&self, out: &mut MoveBuf<u8>) {
+        out.clear();
+        if self.winner.is_some() {
+            return;
+        }
+        let mut empty = Self::BOARD & !(self.red | self.blue);
+        while empty != 0 {
+            out.push(empty.trailing_zeros() as u8);
+            empty &= empty - 1;
+        }
+    }
+
+    fn apply(&mut self, cell: u8) {
+        debug_assert!((cell as usize) < N * N);
+        debug_assert!(self.winner.is_none(), "game already decided");
+        let bit = 1u128 << cell;
+        debug_assert_eq!((self.red | self.blue) & bit, 0, "cell occupied");
+        let mover = self.to_move();
+        match mover {
+            Player::P1 => self.red |= bit,
+            Player::P2 => self.blue |= bit,
+        }
+        self.plies += 1;
+        if self.has_won(mover) {
+            self.winner = Some(mover);
+        }
+    }
+
+    #[inline]
+    fn is_terminal(&self) -> bool {
+        // By the Hex theorem a full board always contains a connection, so
+        // the winner check alone suffices; the occupancy test is a safety
+        // net for unreachable hand-built positions.
+        self.winner.is_some() || (self.red | self.blue) == Self::BOARD
+    }
+
+    fn outcome(&self) -> Option<Outcome> {
+        self.winner.map(Outcome::Win).or({
+            if (self.red | self.blue) == Self::BOARD {
+                Some(Outcome::Draw) // unreachable in real play
+            } else {
+                None
+            }
+        })
+    }
+
+    fn score(&self) -> i32 {
+        match self.winner {
+            Some(Player::P1) => 1,
+            Some(Player::P2) => -1,
+            None => 0,
+        }
+    }
+
+    #[inline]
+    fn random_move<R: Rng64>(&self, rng: &mut R) -> Option<u8> {
+        if self.winner.is_some() {
+            return None;
+        }
+        let empty = Self::BOARD & !(self.red | self.blue);
+        let n = empty.count_ones();
+        if n == 0 {
+            return None;
+        }
+        // Select the k-th set bit of a u128.
+        let k = rng.next_below(n);
+        let mut m = empty;
+        for _ in 0..k {
+            m &= m - 1;
+        }
+        Some(m.trailing_zeros() as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_board_empty() {
+        let s = Hex7::initial();
+        assert_eq!(s.stones(Player::P1), 0);
+        assert_eq!(s.to_move(), Player::P1);
+        let mut buf = MoveBuf::new();
+        s.legal_moves(&mut buf);
+        assert_eq!(buf.len(), 49);
+    }
+
+    #[test]
+    fn straight_column_wins_for_red() {
+        let mut s = Hex5::initial();
+        // Red plays column 0 top to bottom; Blue plays scattered cells that
+        // do not connect.
+        let red_moves = [0u8, 5, 10, 15, 20];
+        let blue_moves = [1u8, 7, 13, 19];
+        for i in 0..4 {
+            s.apply(red_moves[i]);
+            s.apply(blue_moves[i]);
+        }
+        assert!(!s.is_terminal());
+        s.apply(red_moves[4]);
+        assert!(s.is_terminal());
+        assert_eq!(s.outcome(), Some(Outcome::Win(Player::P1)));
+    }
+
+    #[test]
+    fn straight_row_wins_for_blue() {
+        let mut s = Hex5::initial();
+        // Blue fills row 2 (cells 10..15); Red scatters.
+        let blue_moves = [10u8, 11, 12, 13, 14];
+        let red_moves = [0u8, 2, 4, 21, 23];
+        for i in 0..5 {
+            s.apply(red_moves[i]);
+            if s.is_terminal() {
+                break;
+            }
+            s.apply(blue_moves[i]);
+        }
+        assert_eq!(s.outcome(), Some(Outcome::Win(Player::P2)));
+    }
+
+    #[test]
+    fn diagonal_adjacency_counts() {
+        // Red path using the NE/SW hex adjacency: (0,1)=1, (1,0)=5,
+        // (2,0)=10 ... wait (0,1) and (1,0) are hex-adjacent via SW.
+        let mut s = Hex5::initial();
+        let red = [1u8, 5, 10, 15, 20];
+        let blue = [3u8, 8, 13, 18];
+        for i in 0..4 {
+            s.apply(red[i]);
+            s.apply(blue[i]);
+        }
+        s.apply(red[4]);
+        assert_eq!(s.outcome(), Some(Outcome::Win(Player::P1)), "\n{s:?}");
+    }
+
+    #[test]
+    fn zigzag_is_not_connected_without_adjacency() {
+        // Two red stones in the SAME column but two rows apart: not adjacent.
+        let mut s = Hex5::initial();
+        s.apply(0); // red (0,0)
+        s.apply(4); // blue
+        s.apply(10); // red (2,0) — gap at (1,0)
+        assert!(!s.has_won(Player::P1));
+    }
+
+    #[test]
+    fn no_winner_mid_game() {
+        let s = Hex7::initial();
+        assert_eq!(s.outcome(), None);
+        assert!(!s.has_won(Player::P1));
+        assert!(!s.has_won(Player::P2));
+    }
+
+    #[test]
+    fn random_games_always_produce_a_winner() {
+        use pmcts_util::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::new(77);
+        for _ in 0..30 {
+            let mut s = Hex7::initial();
+            let mut plies = 0;
+            while let Some(mv) = s.random_move(&mut rng) {
+                s.apply(mv);
+                plies += 1;
+                assert!(plies <= Hex7::MAX_GAME_LENGTH);
+            }
+            match s.outcome() {
+                Some(Outcome::Win(_)) => {}
+                other => panic!("hex game ended with {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn neighbour_masks_match_scalar_adjacency() {
+        // Exhaustive per-cell check on the 5×5 board against coordinate math.
+        for cell in 0..25usize {
+            let set = 1u128 << cell;
+            let fast = Hex::<5>::neighbours(set);
+            let (r, c) = (cell as i32 / 5, cell as i32 % 5);
+            let mut slow = 0u128;
+            for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0), (-1, 1), (1, -1)] {
+                let (nr, nc) = (r + dr, c + dc);
+                if (0..5).contains(&nr) && (0..5).contains(&nc) {
+                    slow |= 1u128 << (nr * 5 + nc);
+                }
+            }
+            assert_eq!(fast, slow, "cell {cell}");
+        }
+    }
+
+    #[test]
+    fn larger_boards_work() {
+        let s = Hex11::initial();
+        let mut buf = MoveBuf::new();
+        s.legal_moves(&mut buf);
+        assert_eq!(buf.len(), 121);
+    }
+}

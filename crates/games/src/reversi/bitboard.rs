@@ -1,0 +1,329 @@
+//! Shift-based Reversi bitboard kernels.
+//!
+//! These are the primitives a CUDA playout kernel would execute per thread:
+//! branch-free 8-direction flood fills over two `u64` boards. The naive
+//! square-by-square reference implementations live here too and back the
+//! property tests (`fast == naive` on random boards).
+//!
+//! Direction conventions for bit `row * 8 + col`:
+//! east = `+1`, west = `-1`, south = `+8`, north = `-8`, and the four
+//! diagonals; file masks prevent wrap-around between rows.
+
+/// Squares not on file `a` (col 0) — safe to shift west.
+const NOT_A_FILE: u64 = 0xFEFE_FEFE_FEFE_FEFE;
+/// Squares not on file `h` (col 7) — safe to shift east.
+const NOT_H_FILE: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+
+/// The eight compass directions used by the flood fills.
+pub const DIRECTIONS: [Direction; 8] = [
+    Direction::E,
+    Direction::W,
+    Direction::S,
+    Direction::N,
+    Direction::SE,
+    Direction::SW,
+    Direction::NE,
+    Direction::NW,
+];
+
+/// A board direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// +1 column.
+    E,
+    /// −1 column.
+    W,
+    /// +1 row.
+    S,
+    /// −1 row.
+    N,
+    /// +1 row, +1 column.
+    SE,
+    /// +1 row, −1 column.
+    SW,
+    /// −1 row, +1 column.
+    NE,
+    /// −1 row, −1 column.
+    NW,
+}
+
+impl Direction {
+    /// `(d_row, d_col)` offsets for scalar code.
+    pub fn offsets(self) -> (i32, i32) {
+        match self {
+            Direction::E => (0, 1),
+            Direction::W => (0, -1),
+            Direction::S => (1, 0),
+            Direction::N => (-1, 0),
+            Direction::SE => (1, 1),
+            Direction::SW => (1, -1),
+            Direction::NE => (-1, 1),
+            Direction::NW => (-1, -1),
+        }
+    }
+}
+
+/// Shifts a bitboard one step in `dir`, discarding bits that leave the board.
+#[inline(always)]
+pub fn shift(b: u64, dir: Direction) -> u64 {
+    match dir {
+        Direction::E => (b & NOT_H_FILE) << 1,
+        Direction::W => (b & NOT_A_FILE) >> 1,
+        Direction::S => b << 8,
+        Direction::N => b >> 8,
+        Direction::SE => (b & NOT_H_FILE) << 9,
+        Direction::SW => (b & NOT_A_FILE) << 7,
+        Direction::NE => (b & NOT_H_FILE) >> 7,
+        Direction::NW => (b & NOT_A_FILE) >> 9,
+    }
+}
+
+/// Bitboard of all legal placement squares for the player owning `own`.
+///
+/// Classic Dumb7Fill: for each direction, flood from `own` through contiguous
+/// `opp` discs (at most 6 steps on an 8×8 board), then step once more — any
+/// empty square reached is a legal move in that direction.
+#[inline]
+pub fn legal_moves_mask(own: u64, opp: u64) -> u64 {
+    debug_assert_eq!(own & opp, 0, "overlapping boards");
+    let empty = !(own | opp);
+    let mut moves = 0u64;
+    for dir in DIRECTIONS {
+        let mut t = shift(own, dir) & opp;
+        // 5 more steps cover the maximum run of 6 opponent discs.
+        t |= shift(t, dir) & opp;
+        t |= shift(t, dir) & opp;
+        t |= shift(t, dir) & opp;
+        t |= shift(t, dir) & opp;
+        t |= shift(t, dir) & opp;
+        moves |= shift(t, dir) & empty;
+    }
+    moves
+}
+
+/// Bitboard of opponent discs flipped by playing on square `sq`.
+///
+/// Returns 0 if the move flips nothing (i.e. it is illegal).
+#[inline]
+pub fn flips_for_move(own: u64, opp: u64, sq: u8) -> u64 {
+    debug_assert!(sq < 64);
+    let mv = 1u64 << sq;
+    debug_assert_eq!(mv & (own | opp), 0, "square occupied");
+    let mut flips = 0u64;
+    for dir in DIRECTIONS {
+        let mut line = 0u64;
+        let mut cur = shift(mv, dir);
+        while cur & opp != 0 {
+            line |= cur;
+            cur = shift(cur, dir);
+        }
+        if cur & own != 0 {
+            flips |= line;
+        }
+    }
+    flips
+}
+
+/// Selects the `k`-th (0-based) set bit of `mask` and returns its index.
+///
+/// Used for uniform random move selection directly on the legal-move mask.
+///
+/// # Panics
+/// Debug-panics if `k >= mask.count_ones()`.
+#[inline]
+pub fn select_bit(mask: u64, k: u32) -> u8 {
+    debug_assert!(k < mask.count_ones(), "select_bit out of range");
+    let mut m = mask;
+    for _ in 0..k {
+        m &= m - 1;
+    }
+    m.trailing_zeros() as u8
+}
+
+/// Scalar reference implementation of [`legal_moves_mask`].
+///
+/// O(64 × 8 × 8) and obviously correct; the property tests pit the shift
+/// kernels against this on random boards.
+pub fn legal_moves_mask_naive(own: u64, opp: u64) -> u64 {
+    let mut moves = 0u64;
+    for sq in 0..64u8 {
+        if (own | opp) & (1u64 << sq) != 0 {
+            continue;
+        }
+        if flips_for_move_naive(own, opp, sq) != 0 {
+            moves |= 1u64 << sq;
+        }
+    }
+    moves
+}
+
+/// Scalar reference implementation of [`flips_for_move`].
+pub fn flips_for_move_naive(own: u64, opp: u64, sq: u8) -> u64 {
+    let row = (sq / 8) as i32;
+    let col = (sq % 8) as i32;
+    let mut flips = 0u64;
+    for dir in DIRECTIONS {
+        let (dr, dc) = dir.offsets();
+        let mut line = 0u64;
+        let (mut r, mut c) = (row + dr, col + dc);
+        while (0..8).contains(&r) && (0..8).contains(&c) {
+            let bit = 1u64 << (r * 8 + c);
+            if opp & bit != 0 {
+                line |= bit;
+            } else if own & bit != 0 {
+                flips |= line;
+                break;
+            } else {
+                break;
+            }
+            r += dr;
+            c += dc;
+        }
+    }
+    flips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcts_util::{Rng64, SplitMix64};
+
+    /// Generates a random *plausible* board: random occupied mask with
+    /// random ownership. Not necessarily reachable, but move-gen correctness
+    /// does not depend on reachability.
+    fn random_board(rng: &mut SplitMix64) -> (u64, u64) {
+        let occupied = rng.next_u64() & rng.next_u64(); // ~25% fill
+        let ownership = rng.next_u64();
+        (occupied & ownership, occupied & !ownership)
+    }
+
+    #[test]
+    fn shift_east_drops_h_file() {
+        let h1 = 1u64 << 7;
+        assert_eq!(shift(h1, Direction::E), 0);
+        let a1 = 1u64;
+        assert_eq!(shift(a1, Direction::E), 1 << 1);
+    }
+
+    #[test]
+    fn shift_west_drops_a_file() {
+        let a1 = 1u64;
+        assert_eq!(shift(a1, Direction::W), 0);
+        assert_eq!(shift(1 << 1, Direction::W), 1);
+    }
+
+    #[test]
+    fn shift_vertical_drops_edges() {
+        let a8 = 1u64 << 56;
+        assert_eq!(shift(a8, Direction::S), 0);
+        let a1 = 1u64;
+        assert_eq!(shift(a1, Direction::N), 0);
+        assert_eq!(shift(a1, Direction::S), 1 << 8);
+    }
+
+    #[test]
+    fn shift_diagonals_drop_corners() {
+        let h8 = 1u64 << 63;
+        assert_eq!(shift(h8, Direction::SE), 0);
+        let a1 = 1u64;
+        assert_eq!(shift(a1, Direction::NW), 0);
+        assert_eq!(shift(a1, Direction::SE), 1 << 9);
+    }
+
+    #[test]
+    fn all_shifts_stay_on_board() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            let b = rng.next_u64();
+            for dir in DIRECTIONS {
+                // A shift never increases popcount.
+                assert!(shift(b, dir).count_ones() <= b.count_ones());
+            }
+        }
+    }
+
+    #[test]
+    fn initial_position_moves() {
+        let black = (1u64 << 28) | (1u64 << 35);
+        let white = (1u64 << 27) | (1u64 << 36);
+        let mask = legal_moves_mask(black, white);
+        let expected = (1u64 << 19) | (1 << 26) | (1 << 37) | (1 << 44);
+        assert_eq!(mask, expected);
+    }
+
+    #[test]
+    fn fast_equals_naive_on_random_boards() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..500 {
+            let (own, opp) = random_board(&mut rng);
+            assert_eq!(
+                legal_moves_mask(own, opp),
+                legal_moves_mask_naive(own, opp),
+                "own={own:#x} opp={opp:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn flips_fast_equals_naive_on_random_boards() {
+        let mut rng = SplitMix64::new(43);
+        for _ in 0..200 {
+            let (own, opp) = random_board(&mut rng);
+            let empty = !(own | opp);
+            for sq in 0..64u8 {
+                if empty & (1u64 << sq) != 0 {
+                    assert_eq!(
+                        flips_for_move(own, opp, sq),
+                        flips_for_move_naive(own, opp, sq),
+                        "own={own:#x} opp={opp:#x} sq={sq}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legal_moves_have_nonzero_flips() {
+        let mut rng = SplitMix64::new(44);
+        for _ in 0..200 {
+            let (own, opp) = random_board(&mut rng);
+            let mut mask = legal_moves_mask(own, opp);
+            while mask != 0 {
+                let sq = mask.trailing_zeros() as u8;
+                assert_ne!(flips_for_move(own, opp, sq), 0);
+                mask &= mask - 1;
+            }
+        }
+    }
+
+    #[test]
+    fn flips_only_on_opponent_discs() {
+        let mut rng = SplitMix64::new(45);
+        for _ in 0..200 {
+            let (own, opp) = random_board(&mut rng);
+            let mut mask = legal_moves_mask(own, opp);
+            while mask != 0 {
+                let sq = mask.trailing_zeros() as u8;
+                let flips = flips_for_move(own, opp, sq);
+                assert_eq!(flips & !opp, 0, "flips must be a subset of opp");
+                mask &= mask - 1;
+            }
+        }
+    }
+
+    #[test]
+    fn select_bit_enumerates_in_order() {
+        let mask = 0b1011_0100u64;
+        assert_eq!(select_bit(mask, 0), 2);
+        assert_eq!(select_bit(mask, 1), 4);
+        assert_eq!(select_bit(mask, 2), 5);
+        assert_eq!(select_bit(mask, 3), 7);
+    }
+
+    #[test]
+    fn select_bit_full_board() {
+        for k in 0..64 {
+            assert_eq!(select_bit(u64::MAX, k), k as u8);
+        }
+    }
+}

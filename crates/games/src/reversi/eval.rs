@@ -1,0 +1,141 @@
+//! Static evaluation heuristics for Reversi.
+//!
+//! MCTS itself needs no domain knowledge (one of the paper's §I selling
+//! points), but evaluation heuristics are useful for three things in this
+//! repository: stronger *baseline* players for tests, informed playout
+//! policies (see [`crate::policy`]), and sanity checks that the searchers'
+//! preferences correlate with known Othello wisdom (corners good, squares
+//! next to empty corners bad).
+
+use super::{bitboard, Reversi};
+use crate::game::{Game, Player};
+
+/// Classic positional weight table (row-major, rank 1 first).
+///
+/// Corners dominate, the X/C squares adjacent to corners are poison while
+/// the corner is empty, edges are mildly good.
+#[rustfmt::skip]
+pub const WEIGHTS: [i32; 64] = [
+    100, -20,  10,   5,   5,  10, -20, 100,
+    -20, -50,  -2,  -2,  -2,  -2, -50, -20,
+     10,  -2,   1,   0,   0,   1,  -2,  10,
+      5,  -2,   0,   1,   1,   0,  -2,   5,
+      5,  -2,   0,   1,   1,   0,  -2,   5,
+     10,  -2,   1,   0,   0,   1,  -2,  10,
+    -20, -50,  -2,  -2,  -2,  -2, -50, -20,
+    100, -20,  10,   5,   5,  10, -20, 100,
+];
+
+/// Bitboard of the four corners.
+pub const CORNERS: u64 = 1 | (1 << 7) | (1 << 56) | (1 << 63);
+
+/// Sum of positional weights over the discs in `board`.
+pub fn positional(board: u64) -> i32 {
+    let mut score = 0;
+    let mut b = board;
+    while b != 0 {
+        score += WEIGHTS[b.trailing_zeros() as usize];
+        b &= b - 1;
+    }
+    score
+}
+
+/// Mobility: the number of legal placements for each side.
+pub fn mobility(state: &Reversi) -> (u32, u32) {
+    let black = bitboard::legal_moves_mask(state.black(), state.white()).count_ones();
+    let white = bitboard::legal_moves_mask(state.white(), state.black()).count_ones();
+    (black, white)
+}
+
+/// A combined heuristic score from P1 (Black)'s perspective: positional
+/// weights plus weighted mobility. Intended for baseline players and move
+/// ordering, not for MCTS itself.
+pub fn evaluate(state: &Reversi) -> i32 {
+    if let Some(outcome) = state.outcome() {
+        // Decided games evaluate as ±large, scaled by the margin.
+        return match outcome {
+            crate::game::Outcome::Win(Player::P1) => 10_000 + state.score(),
+            crate::game::Outcome::Win(Player::P2) => -10_000 + state.score(),
+            crate::game::Outcome::Draw => 0,
+        };
+    }
+    let positional = positional(state.black()) - positional(state.white());
+    let (mb, mw) = mobility(state);
+    positional + 8 * (mb as i32 - mw as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::MoveBuf;
+    use crate::reversi::ReversiMove;
+
+    #[test]
+    fn corner_is_best_square() {
+        assert_eq!(positional(1), 100);
+        assert_eq!(positional(1 << 63), 100);
+        // X-square is the worst.
+        assert_eq!(positional(1 << 9), -50);
+    }
+
+    #[test]
+    fn positional_is_additive() {
+        let a = 1u64 | (1 << 9);
+        assert_eq!(positional(a), positional(1) + positional(1 << 9));
+        assert_eq!(positional(0), 0);
+    }
+
+    #[test]
+    fn weights_are_symmetric() {
+        // The table must be symmetric under horizontal, vertical and
+        // diagonal board flips.
+        for r in 0..8usize {
+            for c in 0..8usize {
+                let w = WEIGHTS[r * 8 + c];
+                assert_eq!(w, WEIGHTS[r * 8 + (7 - c)], "h-flip at {r},{c}");
+                assert_eq!(w, WEIGHTS[(7 - r) * 8 + c], "v-flip at {r},{c}");
+                assert_eq!(w, WEIGHTS[c * 8 + r], "transpose at {r},{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_position_is_balanced() {
+        let s = Reversi::initial();
+        assert_eq!(evaluate(&s), 0, "symmetric start must evaluate to 0");
+        let (mb, mw) = mobility(&s);
+        assert_eq!((mb, mw), (4, 4));
+    }
+
+    #[test]
+    fn decided_games_evaluate_with_large_magnitude() {
+        let won = Reversi::from_bitboards(0b111, 0, Player::P1);
+        assert!(evaluate(&won) > 9_000);
+        let lost = Reversi::from_bitboards(0, 0b111, Player::P1);
+        assert!(evaluate(&lost) < -9_000);
+    }
+
+    #[test]
+    fn taking_a_corner_improves_evaluation() {
+        // Build a position where Black can take a1: White on b1, Black c1.
+        let s = Reversi::from_bitboards(1 << 2, 1 << 1, Player::P1);
+        let mut buf = MoveBuf::new();
+        s.legal_moves(&mut buf);
+        assert!(buf.contains(&ReversiMove(0)), "a1 available");
+        let before = evaluate(&s);
+        let mut after = s;
+        after.apply(ReversiMove(0));
+        assert!(
+            evaluate(&after) > before,
+            "corner capture must raise Black's evaluation"
+        );
+    }
+
+    #[test]
+    fn corners_mask_is_corners() {
+        assert_eq!(CORNERS.count_ones(), 4);
+        for sq in [0u8, 7, 56, 63] {
+            assert_ne!(CORNERS & (1 << sq), 0);
+        }
+    }
+}

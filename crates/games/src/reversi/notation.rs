@@ -1,0 +1,183 @@
+//! Human-readable notation for Reversi positions and moves.
+//!
+//! Squares use the usual `a1`..`h8` names (file letter then rank digit,
+//! rank 1 at the top as printed). Boards display as an 8×8 diagram with `X`
+//! for Black, `O` for White and `.` for empty, and can be parsed back from
+//! the same format — handy for writing test positions literally.
+
+use super::{Reversi, ReversiMove};
+use crate::game::{Game, Player};
+use std::fmt;
+
+impl ReversiMove {
+    /// Parses `"e4"` / `"pass"` (case-insensitive).
+    pub fn parse(text: &str) -> Option<ReversiMove> {
+        let t = text.trim().to_ascii_lowercase();
+        if t == "pass" || t == "--" {
+            return Some(ReversiMove::PASS);
+        }
+        let bytes = t.as_bytes();
+        if bytes.len() != 2 {
+            return None;
+        }
+        let col = bytes[0].checked_sub(b'a')?;
+        let row = bytes[1].checked_sub(b'1')?;
+        if col < 8 && row < 8 {
+            Some(ReversiMove(row * 8 + col))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ReversiMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.square() {
+            None => write!(f, "pass"),
+            Some(sq) => write!(f, "{}{}", (b'a' + sq % 8) as char, (b'1' + sq / 8) as char),
+        }
+    }
+}
+
+impl fmt::Display for Reversi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  a b c d e f g h")?;
+        for row in 0..8u8 {
+            write!(f, "{} ", row + 1)?;
+            for col in 0..8u8 {
+                let bit = 1u64 << (row * 8 + col);
+                let ch = if self.black() & bit != 0 {
+                    'X'
+                } else if self.white() & bit != 0 {
+                    'O'
+                } else {
+                    '.'
+                };
+                write!(f, "{ch} ")?;
+            }
+            writeln!(f)?;
+        }
+        let side = match self.to_move() {
+            Player::P1 => "X (black)",
+            Player::P2 => "O (white)",
+        };
+        write!(f, "to move: {side}")
+    }
+}
+
+impl fmt::Debug for Reversi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Reversi {{ black: {:#018x}, white: {:#018x}, to_move: {:?} }}",
+            self.black(),
+            self.white(),
+            self.to_move()
+        )
+    }
+}
+
+impl Reversi {
+    /// Parses an 8-row diagram of `X`/`O`/`.` characters (whitespace and row
+    /// labels ignored), e.g. the output of `Display` or hand-written test
+    /// positions. `to_move` chooses the side to move.
+    ///
+    /// Returns `None` if fewer than 64 board characters are found.
+    pub fn parse_diagram(diagram: &str, to_move: Player) -> Option<Reversi> {
+        let mut black = 0u64;
+        let mut white = 0u64;
+        let mut idx = 0u32;
+        for ch in diagram.chars() {
+            let bit = 1u64 << idx;
+            match ch {
+                'X' | 'x' | 'B' => {
+                    black |= bit;
+                    idx += 1;
+                }
+                'O' | 'o' | 'W' => {
+                    white |= bit;
+                    idx += 1;
+                }
+                '.' | '-' | '_' => idx += 1,
+                _ => {} // labels / whitespace
+            }
+            if idx == 64 {
+                return Some(Reversi::from_bitboards(black, white, to_move));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::Game;
+
+    #[test]
+    fn move_display_and_parse_roundtrip() {
+        for sq in 0..64u8 {
+            let m = ReversiMove(sq);
+            let text = m.to_string();
+            assert_eq!(ReversiMove::parse(&text), Some(m), "square {sq}");
+        }
+        assert_eq!(ReversiMove::parse("pass"), Some(ReversiMove::PASS));
+        assert_eq!(ReversiMove::PASS.to_string(), "pass");
+    }
+
+    #[test]
+    fn named_squares() {
+        assert_eq!(ReversiMove::parse("a1"), Some(ReversiMove(0)));
+        assert_eq!(ReversiMove::parse("h1"), Some(ReversiMove(7)));
+        assert_eq!(ReversiMove::parse("a8"), Some(ReversiMove(56)));
+        assert_eq!(ReversiMove::parse("h8"), Some(ReversiMove(63)));
+        assert_eq!(ReversiMove::parse("E4"), Some(ReversiMove(28)));
+    }
+
+    #[test]
+    fn bad_moves_rejected() {
+        assert_eq!(ReversiMove::parse("i1"), None);
+        assert_eq!(ReversiMove::parse("a9"), None);
+        assert_eq!(ReversiMove::parse(""), None);
+        assert_eq!(ReversiMove::parse("a"), None);
+        assert_eq!(ReversiMove::parse("a1b"), None);
+    }
+
+    #[test]
+    fn diagram_roundtrip() {
+        let s = Reversi::initial();
+        let text = s.to_string();
+        let parsed = Reversi::parse_diagram(&text, Player::P1).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn parse_literal_diagram() {
+        let s = Reversi::parse_diagram(
+            "
+            . . . . . . . .
+            . . . . . . . .
+            . . . . . . . .
+            . . . O X . . .
+            . . . X O . . .
+            . . . . . . . .
+            . . . . . . . .
+            . . . . . . . .
+            ",
+            Player::P1,
+        )
+        .unwrap();
+        assert_eq!(s, Reversi::initial());
+    }
+
+    #[test]
+    fn incomplete_diagram_is_none() {
+        assert!(Reversi::parse_diagram("X O .", Player::P1).is_none());
+    }
+
+    #[test]
+    fn display_contains_side_to_move() {
+        let s = Reversi::initial();
+        assert!(s.to_string().contains("X (black)"));
+    }
+}

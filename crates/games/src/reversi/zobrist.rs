@@ -1,0 +1,113 @@
+//! Zobrist hashing for Reversi positions.
+//!
+//! Each (square, colour) pair gets a fixed random 64-bit key, plus one key
+//! for the side to move; a position's hash is the XOR of the keys of its
+//! discs. Used by transposition-aware tooling and as a cheap position
+//! fingerprint in tests and logs. Keys are derived deterministically from a
+//! fixed seed so hashes are stable across runs and platforms.
+
+use crate::game::Player;
+use pmcts_util::{Rng64, SplitMix64};
+use std::sync::OnceLock;
+
+struct Keys {
+    /// `[colour][square]`; colour 0 = Black.
+    squares: [[u64; 64]; 2],
+    /// XORed in when White is to move.
+    white_to_move: u64,
+}
+
+fn keys() -> &'static Keys {
+    static KEYS: OnceLock<Keys> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        // Fixed seed: hashes must be reproducible across processes.
+        let mut rng = SplitMix64::new(0x5EED_0B0E_5EED_0B0E);
+        let mut squares = [[0u64; 64]; 2];
+        for colour in &mut squares {
+            for key in colour.iter_mut() {
+                *key = rng.next_u64();
+            }
+        }
+        Keys {
+            squares,
+            white_to_move: rng.next_u64(),
+        }
+    })
+}
+
+/// Hashes a position given its bitboards and side to move.
+pub fn hash(black: u64, white: u64, to_move: Player) -> u64 {
+    let keys = keys();
+    let mut h = 0u64;
+    let mut b = black;
+    while b != 0 {
+        h ^= keys.squares[0][b.trailing_zeros() as usize];
+        b &= b - 1;
+    }
+    let mut w = white;
+    while w != 0 {
+        h ^= keys.squares[1][w.trailing_zeros() as usize];
+        w &= w - 1;
+    }
+    if to_move == Player::P2 {
+        h ^= keys.white_to_move;
+    }
+    h
+}
+
+/// The key for one (square, colour); exposed for incremental updates.
+pub fn square_key(player: Player, square: u8) -> u64 {
+    keys().squares[player.index()][square as usize]
+}
+
+/// The side-to-move key; XOR it to toggle the mover.
+pub fn side_key() -> u64 {
+    keys().white_to_move
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(
+            hash(0xFF, 0xFF00, Player::P1),
+            hash(0xFF, 0xFF00, Player::P1)
+        );
+    }
+
+    #[test]
+    fn empty_board_black_to_move_is_zero() {
+        assert_eq!(hash(0, 0, Player::P1), 0);
+        assert_ne!(hash(0, 0, Player::P2), 0);
+    }
+
+    #[test]
+    fn hash_changes_with_any_single_disc() {
+        let base = hash(0, 0, Player::P1);
+        let mut seen = std::collections::HashSet::new();
+        for sq in 0..64 {
+            let hb = hash(1u64 << sq, 0, Player::P1);
+            let hw = hash(0, 1u64 << sq, Player::P1);
+            assert_ne!(hb, base);
+            assert_ne!(hw, base);
+            assert_ne!(hb, hw, "colour must matter on square {sq}");
+            assert!(seen.insert(hb), "duplicate key at square {sq}");
+            assert!(seen.insert(hw), "duplicate key at square {sq}");
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_hash() {
+        // Placing a black disc on square 12 == XOR of the square key.
+        let before = hash(0, 0, Player::P1);
+        let after = hash(1 << 12, 0, Player::P1);
+        assert_eq!(before ^ square_key(Player::P1, 12), after);
+        // Toggling side to move == XOR of the side key.
+        assert_eq!(
+            hash(1 << 12, 0, Player::P1) ^ side_key(),
+            hash(1 << 12, 0, Player::P2)
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Tic-Tac-Toe.
+//!
+//! Included not as a serious benchmark but because it is exactly solvable:
+//! the integration tests verify that every MCTS variant finds the
+//! game-theoretically correct move (win when available, block when
+//! threatened, draw with perfect play from the start).
+
+use crate::game::{Game, MoveBuf, Outcome, Player};
+
+/// The eight winning lines as cell masks (cells are bits `0..9`, row-major).
+const LINES: [u16; 8] = [
+    0b000_000_111, // rows
+    0b000_111_000,
+    0b111_000_000,
+    0b001_001_001, // columns
+    0b010_010_010,
+    0b100_100_100,
+    0b100_010_001, // diagonals
+    0b001_010_100,
+];
+
+/// Mask of all nine cells.
+const FULL: u16 = 0b111_111_111;
+
+/// A Tic-Tac-Toe position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TicTacToe {
+    /// X stones (P1).
+    x: u16,
+    /// O stones (P2).
+    o: u16,
+    to_move: Player,
+}
+
+impl TicTacToe {
+    /// Builds a position from raw masks; panics on overlap.
+    pub fn from_masks(x: u16, o: u16, to_move: Player) -> Self {
+        assert_eq!(x & o, 0, "overlapping marks");
+        assert_eq!(x & !FULL, 0, "x outside board");
+        assert_eq!(o & !FULL, 0, "o outside board");
+        TicTacToe { x, o, to_move }
+    }
+
+    /// Parses a 9-character diagram, row-major, `X`/`O`/`.`.
+    pub fn parse(diagram: &str, to_move: Player) -> Option<Self> {
+        let mut x = 0u16;
+        let mut o = 0u16;
+        let mut idx = 0;
+        for ch in diagram.chars() {
+            match ch {
+                'X' | 'x' => {
+                    x |= 1 << idx;
+                    idx += 1;
+                }
+                'O' | 'o' => {
+                    o |= 1 << idx;
+                    idx += 1;
+                }
+                '.' | '-' | '_' => idx += 1,
+                _ => {}
+            }
+            if idx == 9 {
+                return Some(Self::from_masks(x, o, to_move));
+            }
+        }
+        None
+    }
+
+    fn winner(&self) -> Option<Player> {
+        for line in LINES {
+            if self.x & line == line {
+                return Some(Player::P1);
+            }
+            if self.o & line == line {
+                return Some(Player::P2);
+            }
+        }
+        None
+    }
+}
+
+impl Game for TicTacToe {
+    /// A move is a cell index `0..9`.
+    type Move = u8;
+
+    const NAME: &'static str = "tictactoe";
+    const MAX_GAME_LENGTH: usize = 9;
+
+    fn initial() -> Self {
+        TicTacToe {
+            x: 0,
+            o: 0,
+            to_move: Player::P1,
+        }
+    }
+
+    #[inline]
+    fn to_move(&self) -> Player {
+        self.to_move
+    }
+
+    fn legal_moves(&self, out: &mut MoveBuf<u8>) {
+        out.clear();
+        if self.winner().is_some() {
+            return;
+        }
+        let mut empty = FULL & !(self.x | self.o);
+        while empty != 0 {
+            out.push(empty.trailing_zeros() as u8);
+            empty &= empty - 1;
+        }
+    }
+
+    fn apply(&mut self, cell: u8) {
+        debug_assert!(cell < 9);
+        let bit = 1u16 << cell;
+        debug_assert_eq!((self.x | self.o) & bit, 0, "cell occupied");
+        debug_assert!(self.winner().is_none(), "game already decided");
+        match self.to_move {
+            Player::P1 => self.x |= bit,
+            Player::P2 => self.o |= bit,
+        }
+        self.to_move = self.to_move.opponent();
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.winner().is_some() || (self.x | self.o) == FULL
+    }
+
+    fn outcome(&self) -> Option<Outcome> {
+        if let Some(w) = self.winner() {
+            Some(Outcome::Win(w))
+        } else if (self.x | self.o) == FULL {
+            Some(Outcome::Draw)
+        } else {
+            None
+        }
+    }
+
+    fn score(&self) -> i32 {
+        match self.winner() {
+            Some(Player::P1) => 1,
+            Some(Player::P2) => -1,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_board_has_nine_moves() {
+        let s = TicTacToe::initial();
+        let mut buf = MoveBuf::new();
+        s.legal_moves(&mut buf);
+        assert_eq!(buf.len(), 9);
+        assert!(!s.is_terminal());
+    }
+
+    #[test]
+    fn x_wins_top_row() {
+        let s = TicTacToe::parse("XXX OO. ...", Player::P2).unwrap();
+        assert!(s.is_terminal());
+        assert_eq!(s.outcome(), Some(Outcome::Win(Player::P1)));
+        assert_eq!(s.score(), 1);
+    }
+
+    #[test]
+    fn o_wins_column() {
+        let s = TicTacToe::parse("OXX O.X O..", Player::P1).unwrap();
+        assert_eq!(s.outcome(), Some(Outcome::Win(Player::P2)));
+    }
+
+    #[test]
+    fn diagonal_win() {
+        let s = TicTacToe::parse("X.O .XO ..X", Player::P2).unwrap();
+        assert_eq!(s.outcome(), Some(Outcome::Win(Player::P1)));
+    }
+
+    #[test]
+    fn drawn_board() {
+        let s = TicTacToe::parse("XOX XXO OXO", Player::P1).unwrap();
+        assert!(s.is_terminal());
+        assert_eq!(s.outcome(), Some(Outcome::Draw));
+        assert_eq!(s.score(), 0);
+    }
+
+    #[test]
+    fn moves_alternate() {
+        let mut s = TicTacToe::initial();
+        assert_eq!(s.to_move(), Player::P1);
+        s.apply(4);
+        assert_eq!(s.to_move(), Player::P2);
+        s.apply(0);
+        assert_eq!(s.to_move(), Player::P1);
+    }
+
+    #[test]
+    fn won_games_generate_no_moves() {
+        let s = TicTacToe::parse("XXX OO. ...", Player::P2).unwrap();
+        let mut buf = MoveBuf::new();
+        s.legal_moves(&mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_rejected() {
+        TicTacToe::from_masks(1, 1, Player::P1);
+    }
+
+    #[test]
+    fn full_game_ends_within_nine_plies() {
+        use pmcts_util::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::new(5);
+        for _ in 0..100 {
+            let mut s = TicTacToe::initial();
+            let mut n = 0;
+            while let Some(mv) = s.random_move(&mut rng) {
+                s.apply(mv);
+                n += 1;
+            }
+            assert!(n <= 9);
+            assert!(s.outcome().is_some());
+        }
+    }
+}

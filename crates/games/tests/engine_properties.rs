@@ -1,0 +1,105 @@
+//! Property tests for the Connect-4, Hex and Tic-Tac-Toe engines (Reversi's
+//! live at the workspace root, tested against the naive bitboard reference).
+
+use pmcts_games::{Connect4, Game, Hex7, MoveBuf, Outcome, Player, TicTacToe};
+use pmcts_util::Xoshiro256pp;
+use proptest::prelude::*;
+
+/// Plays `plies` random moves (stopping early at terminal states).
+fn advance<G: Game>(mut state: G, plies: u32, seed: u64) -> G {
+    let mut rng = Xoshiro256pp::new(seed);
+    for _ in 0..plies {
+        match state.random_move(&mut rng) {
+            Some(mv) => state.apply(mv),
+            None => break,
+        }
+    }
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn connect4_stone_count_equals_plies(seed in any::<u64>(), plies in 0u32..42) {
+        let s = advance(Connect4::initial(), plies, seed);
+        let stones = s.stones(Player::P1).count_ones() + s.stones(Player::P2).count_ones();
+        prop_assert_eq!(stones as u8, s.plies());
+        // Stones never overlap.
+        prop_assert_eq!(s.stones(Player::P1) & s.stones(Player::P2), 0);
+    }
+
+    #[test]
+    fn connect4_moves_alternate_and_heights_bound(seed in any::<u64>(), plies in 0u32..42) {
+        let s = advance(Connect4::initial(), plies, seed);
+        for col in 0..7 {
+            prop_assert!(s.height(col) <= 6);
+        }
+        if !s.is_terminal() {
+            let expected = if s.plies() % 2 == 0 { Player::P1 } else { Player::P2 };
+            prop_assert_eq!(s.to_move(), expected);
+        }
+    }
+
+    #[test]
+    fn connect4_terminal_iff_no_moves(seed in any::<u64>(), plies in 0u32..60) {
+        let s = advance(Connect4::initial(), plies, seed);
+        let mut buf = MoveBuf::new();
+        s.legal_moves(&mut buf);
+        prop_assert_eq!(buf.is_empty(), s.is_terminal());
+        prop_assert_eq!(s.outcome().is_some(), s.is_terminal());
+    }
+
+    #[test]
+    fn hex_games_never_draw(seed in any::<u64>()) {
+        let s = advance(Hex7::initial(), 100, seed);
+        prop_assert!(s.is_terminal());
+        match s.outcome() {
+            Some(Outcome::Win(_)) => {}
+            other => prop_assert!(false, "hex ended with {:?}", other),
+        }
+        // Only one player can be connected.
+        prop_assert!(!(s.has_won(Player::P1) && s.has_won(Player::P2)));
+    }
+
+    #[test]
+    fn hex_winner_stops_the_game(seed in any::<u64>(), plies in 0u32..49) {
+        let s = advance(Hex7::initial(), plies, seed);
+        if s.outcome().is_some() {
+            let mut buf = MoveBuf::new();
+            s.legal_moves(&mut buf);
+            prop_assert!(buf.is_empty(), "finished games generate no moves");
+        }
+    }
+
+    #[test]
+    fn tictactoe_marks_disjoint_and_outcomes_consistent(seed in any::<u64>(), plies in 0u32..9) {
+        let s = advance(TicTacToe::initial(), plies, seed);
+        prop_assert_eq!(s.score().abs() <= 1, true);
+        match s.outcome() {
+            Some(Outcome::Win(Player::P1)) => prop_assert_eq!(s.score(), 1),
+            Some(Outcome::Win(Player::P2)) => prop_assert_eq!(s.score(), -1),
+            Some(Outcome::Draw) => prop_assert_eq!(s.score(), 0),
+            None => prop_assert!(!s.is_terminal()),
+        }
+    }
+
+    #[test]
+    fn random_move_always_legal_across_games(seed in any::<u64>(), plies in 0u32..30) {
+        // Generic contract: random_move ∈ legal_moves, for every engine.
+        fn check<G: Game>(state: G, seed: u64) -> Result<(), TestCaseError> {
+            let mut rng = Xoshiro256pp::new(seed);
+            if let Some(mv) = state.random_move(&mut rng) {
+                let mut buf = MoveBuf::new();
+                state.legal_moves(&mut buf);
+                prop_assert!(buf.contains(&mv));
+            } else {
+                prop_assert!(state.is_terminal());
+            }
+            Ok(())
+        }
+        check(advance(Connect4::initial(), plies, seed), seed)?;
+        check(advance(Hex7::initial(), plies, seed), seed)?;
+        check(advance(TicTacToe::initial(), plies % 9, seed), seed)?;
+    }
+}

@@ -1,0 +1,181 @@
+//! Whole-game invariants for the Reversi engine: properties that must hold
+//! along every legal game trajectory, checked over many seeded games.
+
+use pmcts_games::reversi::bitboard;
+use pmcts_games::{Game, MoveBuf, Outcome, Player, Reversi, ReversiMove};
+use pmcts_util::Xoshiro256pp;
+
+/// Plays a full random game, invoking `check` after every move with
+/// (before, move, after).
+fn play_checked(seed: u64, mut check: impl FnMut(&Reversi, ReversiMove, &Reversi)) -> Reversi {
+    let mut state = Reversi::initial();
+    let mut rng = Xoshiro256pp::new(seed);
+    while let Some(mv) = state.random_move(&mut rng) {
+        let before = state;
+        state.apply(mv);
+        check(&before, mv, &state);
+    }
+    assert!(state.is_terminal());
+    state
+}
+
+#[test]
+fn occupancy_is_monotone_and_discs_conserved() {
+    for seed in 0..30 {
+        play_checked(seed, |before, mv, after| {
+            if mv.is_pass() {
+                assert_eq!(after.occupancy(), before.occupancy());
+            } else {
+                assert_eq!(after.occupancy(), before.occupancy() + 1);
+            }
+            assert_eq!(after.black() & after.white(), 0, "discs never overlap");
+        });
+    }
+}
+
+#[test]
+fn passes_only_when_no_placement_exists() {
+    for seed in 0..30 {
+        play_checked(seed, |before, mv, _after| {
+            if mv.is_pass() {
+                assert_eq!(before.legal_mask(), 0, "pass only when forced");
+            } else {
+                assert_ne!(before.legal_mask() & (1u64 << mv.0), 0, "move was legal");
+            }
+        });
+    }
+}
+
+#[test]
+fn no_two_consecutive_passes_inside_a_game() {
+    // Two passes in a row means the game was already over; random_move must
+    // never produce the second one.
+    for seed in 0..30 {
+        let mut last_was_pass = false;
+        play_checked(seed, |_before, mv, after| {
+            if mv.is_pass() {
+                assert!(!last_was_pass, "double pass inside a live game");
+                last_was_pass = true;
+                assert!(!after.is_terminal() || after.outcome().is_some());
+            } else {
+                last_was_pass = false;
+            }
+        });
+    }
+}
+
+#[test]
+fn flipped_discs_lie_between_move_and_own_disc() {
+    // Spot-check the geometric flip property on live games: every flipped
+    // disc is collinear with the placed disc.
+    for seed in 0..10 {
+        play_checked(seed, |before, mv, after| {
+            if mv.is_pass() {
+                return;
+            }
+            let mover = before.to_move();
+            let flipped = match mover {
+                Player::P1 => after.black() & before.white(),
+                Player::P2 => after.white() & before.black(),
+            };
+            let (mr, mc) = ((mv.0 / 8) as i32, (mv.0 % 8) as i32);
+            let mut rest = flipped;
+            while rest != 0 {
+                let sq = rest.trailing_zeros() as i32;
+                rest &= rest - 1;
+                let (r, c) = (sq / 8, sq % 8);
+                let collinear = r == mr || c == mc || (r - mr).abs() == (c - mc).abs();
+                assert!(collinear, "flip at {sq} not collinear with move {mv}");
+            }
+        });
+    }
+}
+
+#[test]
+fn outcome_matches_final_disc_difference() {
+    for seed in 0..40 {
+        let end = play_checked(seed, |_b, _m, _a| {});
+        let (b, w) = end.counts();
+        match end.outcome().unwrap() {
+            Outcome::Win(Player::P1) => assert!(b > w),
+            Outcome::Win(Player::P2) => assert!(w > b),
+            Outcome::Draw => assert_eq!(b, w),
+        }
+        // Most random games fill most of the board.
+        assert!(end.occupancy() >= 16, "suspiciously empty final board");
+    }
+}
+
+#[test]
+fn wipeout_ends_the_game_early() {
+    // If one side loses every disc the game is over immediately, even with
+    // most of the board empty.
+    let s = Reversi::from_bitboards(0b1110, 0, Player::P2);
+    assert!(s.is_terminal());
+    assert_eq!(s.outcome(), Some(Outcome::Win(Player::P1)));
+    assert!(s.occupancy() < 10);
+}
+
+#[test]
+fn legal_mask_agrees_with_legal_moves_list() {
+    for seed in 0..20 {
+        play_checked(seed, |before, _mv, _after| {
+            let mut buf = MoveBuf::new();
+            before.legal_moves(&mut buf);
+            let mask = before.legal_mask();
+            if mask == 0 {
+                assert!(buf.len() <= 1, "only PASS when mask empty");
+            } else {
+                assert_eq!(buf.len() as u32, mask.count_ones());
+                for m in &buf {
+                    assert_ne!(mask & (1u64 << m.0), 0);
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn zobrist_changes_on_every_placement() {
+    for seed in 0..10 {
+        play_checked(seed, |before, mv, after| {
+            if !mv.is_pass() {
+                assert_ne!(before.zobrist(), after.zobrist());
+            } else {
+                // Pass changes only the side to move, which still hashes.
+                assert_ne!(before.zobrist(), after.zobrist());
+            }
+        });
+    }
+}
+
+#[test]
+fn movegen_kernels_agree_on_every_reached_position() {
+    // The shift kernels vs the naive reference along real games (the
+    // proptests cover random boards; this covers the reachable manifold).
+    for seed in 0..10 {
+        play_checked(seed, |before, _mv, _after| {
+            let (own, opp) = before.own_opp();
+            assert_eq!(
+                bitboard::legal_moves_mask(own, opp),
+                bitboard::legal_moves_mask_naive(own, opp)
+            );
+        });
+    }
+}
+
+#[test]
+fn games_end_within_the_declared_bound() {
+    for seed in 0..40 {
+        let mut state = Reversi::initial();
+        let mut rng = Xoshiro256pp::new(seed ^ 0xDEAD);
+        let mut plies = 0usize;
+        while let Some(mv) = state.random_move(&mut rng) {
+            state.apply(mv);
+            plies += 1;
+            assert!(plies <= Reversi::MAX_GAME_LENGTH);
+        }
+        // 60 placements max; passes are rare.
+        assert!(plies >= 8, "game ended implausibly early: {plies}");
+    }
+}

@@ -1,0 +1,327 @@
+//! The SIMT execution engine.
+//!
+//! Executes a [`Kernel`] over a [`LaunchConfig`] with warp-lockstep
+//! semantics and produces both the per-thread outputs and a fully accounted
+//! [`KernelStats`].
+//!
+//! **Virtual-time model.** Within a warp, every lockstep step costs
+//! [`DeviceSpec::cycles_per_warp_step`] cycles and the warp runs until its
+//! slowest lane finishes. A block costs the sum of its warps (one warp
+//! issues at a time per SM — an intentional simplification of Fermi's dual
+//! schedulers that preserves the *relative* cost of configurations). Blocks
+//! are assigned to SMs round-robin, an SM's busy time is the sum of its
+//! blocks, and the kernel's device time is the busiest SM — so a grid
+//! smaller than the device finishes no faster by leaving SMs idle, and a
+//! grid larger than the device queues, exactly the saturation behaviour of
+//! the paper's Fig. 5.
+//!
+//! **Real execution.** Lane programs really run (they play full random
+//! games); blocks are distributed over host worker threads for wall-clock
+//! speed. Because each block's simulation is self-contained and outputs are
+//! written to its own slot, results are bit-identical regardless of host
+//! thread count.
+
+use crate::device::DeviceSpec;
+use crate::kernel::{Kernel, LaunchConfig, ThreadId};
+use crate::launch::LaunchResult;
+use crate::stats::KernelStats;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Per-block simulation result, later folded into the launch result.
+struct BlockOutcome<O> {
+    block: u32,
+    outputs: Vec<O>,
+    cycles: u64,
+    warp_steps: u64,
+    lane_steps: u64,
+    idle_lane_steps: u64,
+}
+
+/// Simulates one block: all its warps, each in lockstep.
+fn simulate_block<K: Kernel>(
+    kernel: &K,
+    block: u32,
+    config: &LaunchConfig,
+    spec: &DeviceSpec,
+) -> BlockOutcome<K::Output> {
+    let tpb = config.threads_per_block;
+    let warp = spec.warp_size;
+    let mut outputs = Vec::with_capacity(tpb as usize);
+    let mut cycles = 0u64;
+    let mut warp_steps_total = 0u64;
+    let mut lane_steps_total = 0u64;
+    let mut idle_total = 0u64;
+
+    let mut lane_ids: Vec<ThreadId> = Vec::with_capacity(warp as usize);
+    let mut states: Vec<Option<K::ThreadState>> = Vec::with_capacity(warp as usize);
+    let mut lane_steps: Vec<u64> = Vec::with_capacity(warp as usize);
+
+    let mut warp_start = 0u32;
+    while warp_start < tpb {
+        let lanes = warp.min(tpb - warp_start);
+        lane_ids.clear();
+        states.clear();
+        lane_steps.clear();
+        for lane in 0..lanes {
+            let thread = warp_start + lane;
+            let tid = ThreadId {
+                block,
+                thread,
+                global: block * tpb + thread,
+            };
+            lane_ids.push(tid);
+            states.push(Some(kernel.init(tid)));
+            lane_steps.push(0);
+        }
+
+        // Lockstep: one pass over live lanes per step; a lane that returns
+        // `true` is masked out (its Option stays Some until finish()).
+        let mut live = lanes as usize;
+        let mut done = vec![false; lanes as usize];
+        let mut steps_this_warp = 0u64;
+        while live > 0 {
+            steps_this_warp += 1;
+            for lane in 0..lanes as usize {
+                if done[lane] {
+                    continue;
+                }
+                let state = states[lane].as_mut().expect("live lane has state");
+                lane_steps[lane] += 1;
+                if kernel.step(state, lane_ids[lane]) {
+                    done[lane] = true;
+                    live -= 1;
+                }
+            }
+        }
+
+        cycles += steps_this_warp * spec.cycles_per_warp_step;
+        warp_steps_total += steps_this_warp;
+        let useful: u64 = lane_steps.iter().sum();
+        lane_steps_total += useful;
+        idle_total += steps_this_warp * lanes as u64 - useful;
+
+        for lane in 0..lanes as usize {
+            let state = states[lane].take().expect("state present at finish");
+            outputs.push(kernel.finish(state, lane_ids[lane]));
+        }
+        warp_start += lanes;
+    }
+
+    BlockOutcome {
+        block,
+        outputs,
+        cycles,
+        warp_steps: warp_steps_total,
+        lane_steps: lane_steps_total,
+        idle_lane_steps: idle_total,
+    }
+}
+
+/// Executes `kernel` over `config` on the simulated device described by
+/// `spec`, using up to `host_threads` real threads.
+///
+/// Outputs are returned in global-thread order (`block * tpb + thread`),
+/// matching the layout of the result array a CUDA kernel would write.
+pub fn execute_kernel<K: Kernel>(
+    kernel: &K,
+    config: &LaunchConfig,
+    spec: &DeviceSpec,
+    host_threads: usize,
+) -> LaunchResult<K::Output> {
+    let n_blocks = config.blocks;
+    let workers = host_threads.max(1).min(n_blocks as usize);
+
+    let mut block_outcomes: Vec<BlockOutcome<K::Output>> = if workers <= 1 {
+        (0..n_blocks)
+            .map(|b| simulate_block(kernel, b, config, spec))
+            .collect()
+    } else {
+        let next = AtomicU32::new(0);
+        let mut per_worker: Vec<Vec<BlockOutcome<K::Output>>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move |_| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let b = next.fetch_add(1, Ordering::Relaxed);
+                            if b >= n_blocks {
+                                break;
+                            }
+                            mine.push(simulate_block(kernel, b, config, spec));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_worker.push(h.join().expect("kernel worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        per_worker.into_iter().flatten().collect()
+    };
+
+    block_outcomes.sort_by_key(|o| o.block);
+
+    // Round-robin block→SM assignment; device time = busiest SM.
+    let mut per_sm_cycles = vec![0u64; spec.sm_count as usize];
+    let mut warp_steps = 0u64;
+    let mut lane_steps = 0u64;
+    let mut idle_lane_steps = 0u64;
+    let mut outputs = Vec::with_capacity(config.total_threads() as usize);
+    for outcome in block_outcomes {
+        per_sm_cycles[(outcome.block % spec.sm_count) as usize] += outcome.cycles;
+        warp_steps += outcome.warp_steps;
+        lane_steps += outcome.lane_steps;
+        idle_lane_steps += outcome.idle_lane_steps;
+        outputs.extend(outcome.outputs);
+    }
+    let max_sm_cycles = per_sm_cycles.iter().copied().max().unwrap_or(0);
+
+    let stats = KernelStats {
+        threads: config.total_threads(),
+        warps: config.warps_per_block(spec) * config.blocks,
+        launch_overhead: spec.launch_overhead,
+        device_time: spec.cycles_to_time(max_sm_cycles),
+        readback_time: spec.transfer_time(config.total_threads() as u64 * kernel.output_bytes()),
+        warp_steps,
+        lane_steps,
+        idle_lane_steps,
+        per_sm_cycles,
+        occupancy: spec.occupancy(config),
+    };
+
+    LaunchResult { outputs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcts_util::SimTime;
+
+    /// Thread `global` runs for `global % modulus + 1` steps and outputs its
+    /// step count — fully deterministic divergence for exact accounting
+    /// checks.
+    struct Countdown {
+        modulus: u32,
+    }
+
+    impl Kernel for Countdown {
+        type ThreadState = (u32, u32); // (remaining, taken)
+        type Output = u32;
+
+        fn init(&self, tid: ThreadId) -> (u32, u32) {
+            (tid.global % self.modulus + 1, 0)
+        }
+
+        fn step(&self, state: &mut (u32, u32), _tid: ThreadId) -> bool {
+            state.0 -= 1;
+            state.1 += 1;
+            state.0 == 0
+        }
+
+        fn finish(&self, state: (u32, u32), _tid: ThreadId) -> u32 {
+            state.1
+        }
+    }
+
+    fn scalar_spec() -> DeviceSpec {
+        DeviceSpec::scalar()
+    }
+
+    #[test]
+    fn outputs_are_in_global_thread_order() {
+        let k = Countdown { modulus: 5 };
+        let cfg = LaunchConfig::new(3, 8);
+        let r = execute_kernel(&k, &cfg, &scalar_spec(), 4);
+        assert_eq!(r.outputs.len(), 24);
+        for (i, &steps) in r.outputs.iter().enumerate() {
+            assert_eq!(steps, i as u32 % 5 + 1);
+        }
+    }
+
+    #[test]
+    fn warp_time_is_max_of_lanes() {
+        // One warp of 4 lanes taking 1..=4 steps: warp_steps must be 4,
+        // lane_steps 1+2+3+4=10, idle 4*4-10=6.
+        let mut spec = scalar_spec();
+        spec.warp_size = 4;
+        let k = Countdown { modulus: 4 };
+        let cfg = LaunchConfig::new(1, 4);
+        let r = execute_kernel(&k, &cfg, &spec, 1);
+        assert_eq!(r.stats.warp_steps, 4);
+        assert_eq!(r.stats.lane_steps, 10);
+        assert_eq!(r.stats.idle_lane_steps, 6);
+        assert!((r.stats.lane_efficiency() - 10.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_device_has_no_divergence_waste() {
+        let k = Countdown { modulus: 7 };
+        let cfg = LaunchConfig::new(2, 8);
+        let r = execute_kernel(&k, &cfg, &scalar_spec(), 1);
+        assert_eq!(r.stats.idle_lane_steps, 0);
+        assert_eq!(r.stats.lane_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn device_time_is_busiest_sm() {
+        // 2 SMs, blocks round-robin. Block cycles: modulus=1 => every lane
+        // takes 1 step, warp=1 lane, tpb=1 => each block = 1 warp step =
+        // 1 cycle. 3 blocks on 2 SMs -> SM0 gets blocks 0,2 (2 cycles),
+        // SM1 gets block 1 (1 cycle); device time = 2 cycles = 2ns at 1GHz.
+        let mut spec = scalar_spec();
+        spec.sm_count = 2;
+        let k = Countdown { modulus: 1 };
+        let cfg = LaunchConfig::new(3, 1);
+        let r = execute_kernel(&k, &cfg, &spec, 2);
+        assert_eq!(r.stats.per_sm_cycles, vec![2, 1]);
+        assert_eq!(r.stats.device_time, SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn results_identical_across_host_thread_counts() {
+        let k = Countdown { modulus: 9 };
+        let cfg = LaunchConfig::new(16, 32);
+        let spec = DeviceSpec::tesla_c2050();
+        let a = execute_kernel(&k, &cfg, &spec, 1);
+        let b = execute_kernel(&k, &cfg, &spec, 8);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn launch_overhead_charged_once() {
+        let spec = DeviceSpec::tesla_c2050();
+        let k = Countdown { modulus: 1 };
+        let r = execute_kernel(&k, &LaunchConfig::new(1, 1), &spec, 1);
+        assert_eq!(r.stats.launch_overhead, spec.launch_overhead);
+        assert!(r.stats.elapsed() >= spec.launch_overhead);
+    }
+
+    #[test]
+    fn partial_warps_round_up_but_execute_correctly() {
+        let mut spec = scalar_spec();
+        spec.warp_size = 32;
+        let k = Countdown { modulus: 3 };
+        let cfg = LaunchConfig::new(1, 40); // 1 full warp + 8-lane partial
+        let r = execute_kernel(&k, &cfg, &spec, 1);
+        assert_eq!(r.outputs.len(), 40);
+        assert_eq!(r.stats.warps, 2);
+    }
+
+    #[test]
+    fn bigger_grids_take_longer_on_same_device() {
+        let spec = DeviceSpec::tesla_c2050();
+        let k = Countdown { modulus: 60 };
+        let small = execute_kernel(&k, &LaunchConfig::new(14, 32), &spec, 4);
+        let big = execute_kernel(&k, &LaunchConfig::new(140, 32), &spec, 4);
+        assert!(big.stats.device_time > small.stats.device_time);
+        // 10x blocks on a 14-SM device should be ~10x device time.
+        let ratio =
+            big.stats.device_time.as_nanos() as f64 / small.stats.device_time.as_nanos() as f64;
+        assert!((9.0..11.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Launch results and asynchronous launches.
+//!
+//! [`PendingLaunch`] mirrors the CUDA asynchronous-stream pattern the paper's
+//! hybrid scheme depends on (its Fig. 4): the host calls the kernel
+//! asynchronously, keeps expanding trees on the CPU, and polls for the "gpu
+//! ready event". Here the kernel runs on a background host thread; readiness
+//! is a flag the worker sets just before finishing.
+
+use crate::stats::KernelStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The result of a completed kernel launch.
+#[derive(Clone, Debug)]
+pub struct LaunchResult<O> {
+    /// Per-thread outputs in global-thread order.
+    pub outputs: Vec<O>,
+    /// Cost and utilisation accounting.
+    pub stats: KernelStats,
+}
+
+/// A kernel in flight on the simulated device.
+///
+/// Dropping a `PendingLaunch` without calling [`wait`](Self::wait) detaches
+/// the computation (it still completes, its result is discarded) — the same
+/// fire-and-forget semantics as an unsynchronised CUDA stream.
+pub struct PendingLaunch<O> {
+    handle: Option<JoinHandle<LaunchResult<O>>>,
+    ready: Arc<AtomicBool>,
+}
+
+impl<O: Send + 'static> PendingLaunch<O> {
+    /// Runs `job` on a background thread and returns the handle immediately.
+    pub(crate) fn spawn<F>(job: F) -> Self
+    where
+        F: FnOnce() -> LaunchResult<O> + Send + 'static,
+    {
+        let ready = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ready);
+        let handle = std::thread::spawn(move || {
+            let result = job();
+            flag.store(true, Ordering::Release);
+            result
+        });
+        PendingLaunch {
+            handle: Some(handle),
+            ready,
+        }
+    }
+
+    /// Whether the kernel has finished (the "GPU ready event" poll).
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the kernel completes and returns its result.
+    ///
+    /// # Panics
+    /// Panics if the kernel itself panicked, or if called twice.
+    pub fn wait(mut self) -> LaunchResult<O> {
+        self.handle
+            .take()
+            .expect("PendingLaunch already waited")
+            .join()
+            .expect("kernel thread panicked")
+    }
+}
+
+impl<O> std::fmt::Debug for PendingLaunch<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingLaunch")
+            .field("ready", &self.ready.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::device::{Device, DeviceSpec};
+    use crate::kernel::{Kernel, LaunchConfig, ThreadId};
+    use std::sync::Arc;
+
+    /// A lane that spins `n` steps then returns its global id.
+    struct Spin {
+        n: u32,
+    }
+
+    impl Kernel for Spin {
+        type ThreadState = u32;
+        type Output = u32;
+        fn init(&self, _tid: ThreadId) -> u32 {
+            self.n
+        }
+        fn step(&self, s: &mut u32, _tid: ThreadId) -> bool {
+            *s -= 1;
+            *s == 0
+        }
+        fn finish(&self, _s: u32, tid: ThreadId) -> u32 {
+            tid.global
+        }
+    }
+
+    #[test]
+    fn sync_launch_returns_all_outputs() {
+        let dev = Device::new(DeviceSpec::tesla_c2050());
+        let r = dev.launch(&Spin { n: 3 }, LaunchConfig::new(4, 64));
+        assert_eq!(r.outputs.len(), 256);
+        assert_eq!(r.outputs[17], 17);
+        assert!(r.stats.elapsed() > pmcts_util::SimTime::ZERO);
+    }
+
+    #[test]
+    fn async_launch_completes_and_matches_sync() {
+        let dev = Device::new(DeviceSpec::tesla_c2050());
+        let cfg = LaunchConfig::new(8, 32);
+        let sync = dev.launch(&Spin { n: 5 }, cfg);
+        let pending = dev.launch_async(Arc::new(Spin { n: 5 }), cfg);
+        let async_r = pending.wait();
+        assert_eq!(sync.outputs, async_r.outputs);
+        assert_eq!(sync.stats, async_r.stats);
+    }
+
+    #[test]
+    fn is_ready_eventually_true() {
+        let dev = Device::new(DeviceSpec::tesla_c2050());
+        let pending = dev.launch_async(Arc::new(Spin { n: 2 }), LaunchConfig::new(1, 32));
+        // Poll; the background thread must flip the flag.
+        let mut spins = 0u64;
+        while !pending.is_ready() {
+            std::hint::spin_loop();
+            spins += 1;
+            assert!(spins < 1_000_000_000, "async launch never became ready");
+        }
+        let r = pending.wait();
+        assert_eq!(r.outputs.len(), 32);
+    }
+
+    #[test]
+    fn dropping_pending_launch_is_safe() {
+        let dev = Device::new(DeviceSpec::tesla_c2050());
+        let pending = dev.launch_async(Arc::new(Spin { n: 1 }), LaunchConfig::new(1, 32));
+        drop(pending); // must not deadlock or panic
+    }
+}

@@ -1,0 +1,144 @@
+//! Execution statistics reported by every kernel launch.
+
+use pmcts_util::SimTime;
+
+/// What one kernel launch cost and how well it used the simulated hardware.
+///
+/// All times are virtual. `elapsed()` is what callers should charge to their
+/// search budget: launch overhead + device execution + result readback.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KernelStats {
+    /// Threads in the grid.
+    pub threads: u32,
+    /// Warps in the grid (partial warps rounded up).
+    pub warps: u32,
+    /// Fixed launch cost charged.
+    pub launch_overhead: SimTime,
+    /// Time the device spent executing (max over SMs).
+    pub device_time: SimTime,
+    /// Device→host readback cost for the output array.
+    pub readback_time: SimTime,
+    /// Total lockstep steps summed over all warps.
+    pub warp_steps: u64,
+    /// Steps in which a lane did useful work, summed over all lanes.
+    pub lane_steps: u64,
+    /// Steps in which a lane sat masked-out waiting for its warp
+    /// (the SIMD divergence waste).
+    pub idle_lane_steps: u64,
+    /// Busy cycles per SM, indexed by SM id.
+    pub per_sm_cycles: Vec<u64>,
+    /// Fraction of resident-warp capacity used (0..=1).
+    pub occupancy: f64,
+}
+
+impl KernelStats {
+    /// Total virtual cost of the launch.
+    #[inline]
+    pub fn elapsed(&self) -> SimTime {
+        self.launch_overhead + self.device_time + self.readback_time
+    }
+
+    /// Fraction of lane-steps that did useful work (1.0 = no divergence).
+    pub fn lane_efficiency(&self) -> f64 {
+        let total = self.lane_steps + self.idle_lane_steps;
+        if total == 0 {
+            1.0
+        } else {
+            self.lane_steps as f64 / total as f64
+        }
+    }
+
+    /// Ratio of the busiest SM's cycles to the average — 1.0 means a
+    /// perfectly balanced grid; large values mean most SMs idled.
+    pub fn sm_imbalance(&self) -> f64 {
+        let max = self.per_sm_cycles.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let busy: Vec<u64> = self.per_sm_cycles.to_vec();
+        let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max as f64 / mean
+        }
+    }
+
+    /// Merges another launch's statistics into this one (summing counters,
+    /// adding times, keeping the worst occupancy meaningless fields sane).
+    /// Used by searchers that launch many kernels per move.
+    pub fn accumulate(&mut self, other: &KernelStats) {
+        self.threads = other.threads; // geometry of the last launch
+        self.warps = other.warps;
+        self.launch_overhead += other.launch_overhead;
+        self.device_time += other.device_time;
+        self.readback_time += other.readback_time;
+        self.warp_steps += other.warp_steps;
+        self.lane_steps += other.lane_steps;
+        self.idle_lane_steps += other.idle_lane_steps;
+        if self.per_sm_cycles.len() < other.per_sm_cycles.len() {
+            self.per_sm_cycles.resize(other.per_sm_cycles.len(), 0);
+        }
+        for (acc, &c) in self.per_sm_cycles.iter_mut().zip(&other.per_sm_cycles) {
+            *acc += c;
+        }
+        self.occupancy = other.occupancy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_sums_components() {
+        let s = KernelStats {
+            launch_overhead: SimTime::from_nanos(10),
+            device_time: SimTime::from_nanos(100),
+            readback_time: SimTime::from_nanos(5),
+            ..Default::default()
+        };
+        assert_eq!(s.elapsed(), SimTime::from_nanos(115));
+    }
+
+    #[test]
+    fn lane_efficiency_bounds() {
+        let mut s = KernelStats::default();
+        assert_eq!(s.lane_efficiency(), 1.0);
+        s.lane_steps = 75;
+        s.idle_lane_steps = 25;
+        assert!((s.lane_efficiency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_balanced_grid_is_one() {
+        let s = KernelStats {
+            per_sm_cycles: vec![100, 100, 100],
+            ..Default::default()
+        };
+        assert!((s.sm_imbalance() - 1.0).abs() < 1e-12);
+        let skew = KernelStats {
+            per_sm_cycles: vec![300, 0, 0],
+            ..Default::default()
+        };
+        assert!((skew.sm_imbalance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_counters() {
+        let mut a = KernelStats {
+            warp_steps: 10,
+            lane_steps: 100,
+            idle_lane_steps: 20,
+            device_time: SimTime::from_nanos(50),
+            per_sm_cycles: vec![5, 5],
+            ..Default::default()
+        };
+        let b = a.clone();
+        a.accumulate(&b);
+        assert_eq!(a.warp_steps, 20);
+        assert_eq!(a.lane_steps, 200);
+        assert_eq!(a.device_time, SimTime::from_nanos(100));
+        assert_eq!(a.per_sm_cycles, vec![10, 10]);
+    }
+}

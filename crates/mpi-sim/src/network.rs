@@ -1,0 +1,118 @@
+//! Virtual network cost model.
+
+use pmcts_util::SimTime;
+
+/// Latency/bandwidth model used to charge virtual time for communication.
+///
+/// The model is the classic LogP-style first-order approximation: a message
+/// of `b` bytes costs `latency + b / bandwidth`, and a collective over `n`
+/// ranks costs `ceil(log2 n)` message rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// One-way small-message latency.
+    pub latency: SimTime,
+    /// Bandwidth in bytes per nanosecond (≈ GB/s).
+    pub bytes_per_ns: u64,
+}
+
+impl NetworkModel {
+    /// QDR InfiniBand, the TSUBAME 2.0 interconnect: ~2 µs latency,
+    /// ~4 GB/s effective per-link bandwidth.
+    pub fn infiniband() -> Self {
+        NetworkModel {
+            latency: SimTime::from_micros(2),
+            bytes_per_ns: 4,
+        }
+    }
+
+    /// A zero-cost network for unit tests.
+    pub fn ideal() -> Self {
+        NetworkModel {
+            latency: SimTime::ZERO,
+            bytes_per_ns: u64::MAX,
+        }
+    }
+
+    /// Virtual time for one point-to-point message of `bytes`.
+    pub fn p2p_time(&self, bytes: u64) -> SimTime {
+        if self.bytes_per_ns == u64::MAX {
+            return self.latency;
+        }
+        self.latency + SimTime::from_nanos(bytes / self.bytes_per_ns.max(1))
+    }
+
+    /// Virtual time for a barrier over `ranks` ranks (dissemination rounds).
+    pub fn barrier_time(&self, ranks: usize) -> SimTime {
+        self.p2p_time(8) * log2_ceil(ranks)
+    }
+
+    /// Virtual time for a reduce/broadcast of `bytes` over `ranks` ranks
+    /// (binomial tree).
+    pub fn collective_time(&self, bytes: u64, ranks: usize) -> SimTime {
+        self.p2p_time(bytes) * log2_ceil(ranks)
+    }
+
+    /// Virtual time for an allreduce (reduce + broadcast).
+    pub fn allreduce_time(&self, bytes: u64, ranks: usize) -> SimTime {
+        self.collective_time(bytes, ranks) * 2
+    }
+}
+
+/// `ceil(log2(n))` with `log2_ceil(0 | 1) == 0`.
+fn log2_ceil(n: usize) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(32), 5);
+        assert_eq!(log2_ceil(33), 6);
+    }
+
+    #[test]
+    fn p2p_time_includes_bandwidth() {
+        let net = NetworkModel {
+            latency: SimTime::from_nanos(100),
+            bytes_per_ns: 2,
+        };
+        assert_eq!(net.p2p_time(0), SimTime::from_nanos(100));
+        assert_eq!(net.p2p_time(200), SimTime::from_nanos(200));
+    }
+
+    #[test]
+    fn collectives_scale_logarithmically() {
+        let net = NetworkModel::infiniband();
+        let t4 = net.collective_time(64, 4);
+        let t16 = net.collective_time(64, 16);
+        assert_eq!(t16, t4 * 2, "16 ranks = 4 rounds vs 2 rounds");
+        assert_eq!(net.allreduce_time(64, 4), t4 * 2);
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let net = NetworkModel::ideal();
+        assert_eq!(net.p2p_time(1 << 30), SimTime::ZERO);
+        assert_eq!(net.allreduce_time(1 << 20, 64), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let net = NetworkModel::infiniband();
+        assert_eq!(net.barrier_time(1), SimTime::ZERO);
+        assert_eq!(net.collective_time(1024, 1), SimTime::ZERO);
+    }
+}

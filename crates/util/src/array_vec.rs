@@ -1,0 +1,180 @@
+//! A minimal fixed-capacity vector.
+//!
+//! Move generation runs in the innermost loop of every playout; a heap
+//! allocation per generated move list would dominate the profile. Reversi has
+//! at most 33 legal moves (32 board moves + pass is handled separately), so a
+//! stack-allocated `ArrayVec<Move, 34>` suffices. The implementation is kept
+//! deliberately tiny — `push`/`len`/indexing/iteration — because that is all
+//! the engines need; anything fancier should use `Vec`.
+
+/// Fixed-capacity, stack-allocated vector of `Copy` elements.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayVec<T: Copy + Default, const N: usize> {
+    items: [T; N],
+    len: usize,
+}
+
+impl<T: Copy + Default, const N: usize> Default for ArrayVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> ArrayVec<T, N> {
+    /// Creates an empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        Self {
+            items: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Appends an element.
+    ///
+    /// # Panics
+    /// Panics if the vector is full — capacity overflows indicate a logic
+    /// error in the calling engine (e.g. a board with more moves than the
+    /// game's theoretical maximum), so failing fast is the right behaviour.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        assert!(self.len < N, "ArrayVec capacity {N} exceeded");
+        self.items[self.len] = value;
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.len -= 1;
+            Some(self.items[self.len])
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Element view.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len]
+    }
+
+    /// O(1) unordered removal: swaps the `index`-th element with the last and
+    /// pops it. Used when consuming untried-move lists in random order.
+    #[inline]
+    pub fn swap_remove(&mut self, index: usize) -> T {
+        assert!(index < self.len, "swap_remove index {index} out of bounds");
+        let value = self.items[index];
+        self.len -= 1;
+        self.items[index] = self.items[self.len];
+        value
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for ArrayVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a ArrayVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for ArrayVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_len() {
+        let mut v: ArrayVec<u8, 4> = ArrayVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn slice_view_and_iteration() {
+        let v: ArrayVec<u32, 8> = (0..5).collect();
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        let sum: u32 = v.into_iter().sum();
+        assert_eq!(sum, 10);
+        assert_eq!(v[2], 2, "Deref indexing works");
+    }
+
+    #[test]
+    fn swap_remove_behaviour() {
+        let mut v: ArrayVec<u8, 8> = (1..=4).collect();
+        let removed = v.swap_remove(1); // [1,2,3,4] -> removes 2
+        assert_eq!(removed, 2);
+        assert_eq!(v.as_slice(), &[1, 4, 3]);
+        let removed = v.swap_remove(2); // removes last element
+        assert_eq!(removed, 3);
+        assert_eq!(v.as_slice(), &[1, 4]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut v: ArrayVec<u8, 4> = (0..4).collect();
+        v.clear();
+        assert!(v.is_empty());
+        v.push(9);
+        assert_eq!(v.as_slice(), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 2 exceeded")]
+    fn overflow_panics() {
+        let mut v: ArrayVec<u8, 2> = ArrayVec::new();
+        v.push(0);
+        v.push(1);
+        v.push(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn swap_remove_out_of_bounds_panics() {
+        let mut v: ArrayVec<u8, 2> = ArrayVec::new();
+        v.push(0);
+        v.swap_remove(1);
+    }
+}

@@ -1,0 +1,194 @@
+//! A simple fixed-bin histogram for integer-valued observations.
+//!
+//! Used for tree-depth and playout-length distributions in the analysis
+//! tooling and bench output: playout-length spread is what drives SIMD
+//! divergence on the simulated GPU, so being able to *see* the
+//! distribution matters when reasoning about lane efficiency.
+
+/// Histogram over `u32` values with unit-width bins starting at 0; values
+/// beyond the last bin accumulate in an overflow bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    min: u32,
+    max: u32,
+}
+
+impl Histogram {
+    /// Creates a histogram covering values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Histogram {
+            bins: vec![0; capacity],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            min: u32::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u32) {
+        match self.bins.get_mut(value as usize) {
+            Some(bin) => *bin += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += value as u64;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u32> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u32> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Count in bin `value` (overflowed values are not attributed).
+    pub fn bin(&self, value: u32) -> u64 {
+        self.bins.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Observations that fell beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by cumulative bin counts; `None` when
+    /// empty or when the quantile lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (value, &n) in self.bins.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return Some(value as u32);
+            }
+        }
+        None
+    }
+
+    /// Merges another histogram (same capacity) into this one.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "capacity mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(8);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn records_and_summarises() {
+        let mut h = Histogram::new(10);
+        for v in [1u32, 2, 2, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bin(2), 2);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+        assert!((h.mean() - 3.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_is_tracked() {
+        let mut h = Histogram::new(4);
+        h.record(3);
+        h.record(4); // beyond capacity
+        h.record(100);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), Some(100));
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(100);
+        for v in 1..=100u32 {
+            h.record(v % 100); // 1..99 plus one 0
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        let median = h.quantile(0.5).unwrap();
+        assert!((49..=51).contains(&median), "median {median}");
+        assert_eq!(h.quantile(1.0), Some(99));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new(8);
+        let mut b = Histogram::new(8);
+        a.record(1);
+        a.record(2);
+        b.record(2);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bin(2), 2);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn merge_rejects_capacity_mismatch() {
+        let mut a = Histogram::new(4);
+        a.merge(&Histogram::new(8));
+    }
+}

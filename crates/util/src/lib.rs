@@ -1,0 +1,34 @@
+//! Shared utilities for the `pmcts` workspace.
+//!
+//! This crate is the lowest layer of the workspace: it has no dependencies
+//! besides `std` and provides the small, hot primitives every other crate
+//! builds on:
+//!
+//! * [`rng`] — deterministic, splittable pseudo-random number generators
+//!   ([`rng::SplitMix64`], [`rng::Xoshiro256pp`]). Monte Carlo playouts call
+//!   the RNG millions of times per second, and every experiment in the
+//!   reproduction must be replayable from a single seed, so we use our own
+//!   tiny generators instead of threading `rand` trait objects through the
+//!   hot loops.
+//! * [`stats`] — online (Welford) mean/variance accumulators, win/loss
+//!   tallies with Wilson score confidence intervals, and simple series
+//!   helpers used by the benchmark harness.
+//! * [`time`] — [`time::SimTime`], a virtual-nanosecond clock type. The GPU
+//!   and CPU cost models in `pmcts-gpu-sim` express everything in `SimTime`,
+//!   which keeps experiments deterministic and lets two players share an
+//!   identical virtual time budget.
+//! * [`array_vec`] — a fixed-capacity vector used for move lists (Reversi
+//!   never has more than 33 legal moves; avoiding heap allocation in move
+//!   generation is the single most important playout optimisation).
+
+pub mod array_vec;
+pub mod histogram;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use array_vec::ArrayVec;
+pub use histogram::Histogram;
+pub use rng::{Rng64, SplitMix64, Xoshiro256pp};
+pub use stats::{OnlineStats, Series, WinLoss};
+pub use time::SimTime;

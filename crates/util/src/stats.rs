@@ -1,0 +1,320 @@
+//! Online statistics used by the experiment harness.
+//!
+//! Everything here is small and allocation-free: accumulators are updated
+//! millions of times inside search loops and match drivers.
+
+/// Welford online mean/variance accumulator.
+///
+/// Numerically stable single-pass algorithm; merging two accumulators uses
+/// the parallel variant (Chan et al.), which the root-parallel searchers rely
+/// on when combining per-thread statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+/// Win/draw/loss tally with a Wilson score confidence interval.
+///
+/// The paper reports win ratios (Fig. 6); with a few dozen games per
+/// configuration the sampling noise matters, so the harness always prints the
+/// 95% Wilson interval alongside the point estimate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WinLoss {
+    /// Number of wins.
+    pub wins: u64,
+    /// Number of draws.
+    pub draws: u64,
+    /// Number of losses.
+    pub losses: u64,
+}
+
+impl WinLoss {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one game outcome given `score > 0` (win), `== 0` (draw),
+    /// `< 0` (loss) from this player's perspective.
+    #[inline]
+    pub fn record_score(&mut self, score: i32) {
+        match score.cmp(&0) {
+            std::cmp::Ordering::Greater => self.wins += 1,
+            std::cmp::Ordering::Equal => self.draws += 1,
+            std::cmp::Ordering::Less => self.losses += 1,
+        }
+    }
+
+    /// Total games recorded.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.wins + self.draws + self.losses
+    }
+
+    /// Win ratio counting draws as half a win (the convention used by the
+    /// paper's opponents-comparison plots).
+    pub fn win_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.5;
+        }
+        (self.wins as f64 + 0.5 * self.draws as f64) / t as f64
+    }
+
+    /// 95% Wilson score interval for the win ratio.
+    pub fn wilson95(&self) -> (f64, f64) {
+        wilson_interval(self.win_ratio(), self.total(), 1.96)
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &WinLoss) {
+        self.wins += other.wins;
+        self.draws += other.draws;
+        self.losses += other.losses;
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)`; for `n == 0` returns `(0, 1)`.
+pub fn wilson_interval(p: f64, n: u64, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let n = n as f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = p + z2 / (2.0 * n);
+    let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((centre - margin) / denom).max(0.0),
+        ((centre + margin) / denom).min(1.0),
+    )
+}
+
+/// A labelled series of (x, y) points — the unit of output of every figure
+/// regenerator. Kept deliberately simple: the harness prints TSV.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    /// Series label, e.g. `"block parallelism (block size = 128)"`.
+    pub label: String,
+    /// The data points in plotting order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_known_values() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance of this classic data set is 4; sample variance
+        // is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 3.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn winloss_ratio_and_counts() {
+        let mut w = WinLoss::new();
+        w.record_score(10);
+        w.record_score(-3);
+        w.record_score(0);
+        w.record_score(5);
+        assert_eq!(w.wins, 2);
+        assert_eq!(w.draws, 1);
+        assert_eq!(w.losses, 1);
+        assert_eq!(w.total(), 4);
+        assert!((w.win_ratio() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winloss_empty_ratio_is_half() {
+        assert_eq!(WinLoss::new().win_ratio(), 0.5);
+    }
+
+    #[test]
+    fn wilson_contains_p_and_shrinks() {
+        let (lo1, hi1) = wilson_interval(0.6, 10, 1.96);
+        let (lo2, hi2) = wilson_interval(0.6, 1000, 1.96);
+        assert!(lo1 <= 0.6 && 0.6 <= hi1);
+        assert!(lo2 <= 0.6 && 0.6 <= hi2);
+        assert!(hi2 - lo2 < hi1 - lo1, "more samples must shrink interval");
+    }
+
+    #[test]
+    fn wilson_bounds_clamped() {
+        let (lo, hi) = wilson_interval(0.0, 5, 1.96);
+        assert!(lo >= 0.0);
+        let (lo2, hi2) = wilson_interval(1.0, 5, 1.96);
+        assert!(hi2 <= 1.0);
+        assert!(hi > lo && hi2 > lo2);
+    }
+
+    #[test]
+    fn winloss_merge() {
+        let mut a = WinLoss {
+            wins: 3,
+            draws: 1,
+            losses: 2,
+        };
+        let b = WinLoss {
+            wins: 1,
+            draws: 0,
+            losses: 4,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            WinLoss {
+                wins: 4,
+                draws: 1,
+                losses: 6
+            }
+        );
+    }
+
+    #[test]
+    fn series_push() {
+        let mut s = Series::new("demo");
+        s.push(1.0, 2.0);
+        s.push(2.0, 4.0);
+        assert_eq!(s.points, vec![(1.0, 2.0), (2.0, 4.0)]);
+        assert_eq!(s.label, "demo");
+    }
+}

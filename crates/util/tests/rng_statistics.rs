@@ -1,0 +1,127 @@
+//! Statistical sanity tests for the RNGs.
+//!
+//! Not a PractRand replacement — xoshiro256++ and SplitMix64 are
+//! well-studied — but these catch implementation slips (wrong rotation
+//! constant, biased bounding, correlated derive streams) that would
+//! silently skew every Monte Carlo result in the workspace.
+
+use pmcts_util::{Rng64, SplitMix64, Xoshiro256pp};
+
+/// Chi-square statistic for observed byte counts against uniform.
+fn chi_square_bytes(counts: &[u64; 256], total: u64) -> f64 {
+    let expected = total as f64 / 256.0;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[test]
+fn xoshiro_bytes_are_uniform() {
+    let mut rng = Xoshiro256pp::new(0xDEAD_BEEF);
+    let mut counts = [0u64; 256];
+    let draws = 100_000u64;
+    for _ in 0..draws {
+        let x = rng.next_u64();
+        for b in x.to_le_bytes() {
+            counts[b as usize] += 1;
+        }
+    }
+    let chi2 = chi_square_bytes(&counts, draws * 8);
+    // 255 degrees of freedom: mean 255, std ≈ 22.6; 400 is ≈ +6.4σ.
+    assert!(chi2 < 400.0, "chi-square {chi2} too high — biased bytes");
+    assert!(
+        chi2 > 150.0,
+        "chi-square {chi2} too low — suspiciously even"
+    );
+}
+
+#[test]
+fn splitmix_bit_balance() {
+    let mut rng = SplitMix64::new(7);
+    let mut ones = 0u64;
+    let draws = 50_000;
+    for _ in 0..draws {
+        ones += rng.next_u64().count_ones() as u64;
+    }
+    let total_bits = draws * 64;
+    let frac = ones as f64 / total_bits as f64;
+    assert!((frac - 0.5).abs() < 0.002, "bit balance {frac}");
+}
+
+#[test]
+fn successive_outputs_are_uncorrelated() {
+    // Lag-1 serial correlation of the top bit should be ~0.
+    let mut rng = Xoshiro256pp::new(99);
+    let mut prev = rng.next_u64() >> 63;
+    let mut agree = 0u64;
+    let draws = 100_000;
+    for _ in 0..draws {
+        let cur = rng.next_u64() >> 63;
+        if cur == prev {
+            agree += 1;
+        }
+        prev = cur;
+    }
+    let frac = agree as f64 / draws as f64;
+    assert!((frac - 0.5).abs() < 0.01, "lag-1 agreement {frac}");
+}
+
+#[test]
+fn derived_streams_are_pairwise_uncorrelated() {
+    // Top bits of parallel streams should agree ~50% of the time.
+    for (a, b) in [(0u64, 1u64), (1, 2), (0, 1000), (41, 42)] {
+        let mut ra = Xoshiro256pp::derive(0x5EED, a);
+        let mut rb = Xoshiro256pp::derive(0x5EED, b);
+        let mut agree = 0u64;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if (ra.next_u64() >> 63) == (rb.next_u64() >> 63) {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / draws as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "streams {a}/{b} agreement {frac}"
+        );
+    }
+}
+
+#[test]
+fn bounded_sampling_has_no_modulo_bias() {
+    // 3 does not divide 2^32: naive modulo would visibly bias the counts
+    // over this many draws; Lemire's method must not.
+    let mut rng = Xoshiro256pp::new(123);
+    let bound = 3u32;
+    let draws = 300_000u64;
+    let mut counts = [0u64; 3];
+    for _ in 0..draws {
+        counts[rng.next_below(bound) as usize] += 1;
+    }
+    let expected = draws as f64 / bound as f64;
+    for (i, &c) in counts.iter().enumerate() {
+        let dev = (c as f64 - expected).abs() / expected;
+        assert!(dev < 0.01, "bucket {i} deviates {dev}");
+    }
+}
+
+#[test]
+fn jump_streams_do_not_overlap_on_a_window() {
+    // After jump() the sequence must share no 4-gram window with the
+    // original's first segment (overlap would break stream independence).
+    let mut base = Xoshiro256pp::new(5);
+    let mut jumped = Xoshiro256pp::new(5);
+    jumped.jump();
+    let first: Vec<u64> = (0..512).map(|_| base.next_u64()).collect();
+    let other: Vec<u64> = (0..512).map(|_| jumped.next_u64()).collect();
+    for w in other.windows(4) {
+        assert!(
+            !first.windows(4).any(|f| f == w),
+            "jumped stream overlaps the base stream"
+        );
+    }
+}

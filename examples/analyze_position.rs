@@ -1,0 +1,63 @@
+//! Position analysis: principal variation, root move table and tree shape
+//! for a searched Reversi position — the debugging view used while
+//! developing the searchers.
+//!
+//! Run: `cargo run --release --example analyze_position`
+
+use pmcts::core::analysis::{principal_variation, tree_shape};
+use pmcts::prelude::*;
+
+fn main() {
+    // A mid-game position: 12 scripted plies from the start.
+    let mut position = Reversi::initial();
+    let mut rng = pmcts::util::Xoshiro256pp::new(7);
+    for _ in 0..12 {
+        let mv = pmcts::games::Game::random_move(&position, &mut rng).unwrap();
+        pmcts::games::Game::apply(&mut position, mv);
+    }
+    println!("{position}\n");
+
+    // Grow a tree with the sequential engine, keeping the tree accessible.
+    let mut searcher = SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(1));
+    let (report, tree) = searcher.search_with_tree(position, SearchBudget::Iterations(20_000));
+
+    println!(
+        "searched {} simulations, {} nodes\n",
+        report.simulations,
+        tree.len()
+    );
+
+    println!("root moves (sorted by visits):");
+    let mut stats = tree.root_stats();
+    stats.sort_by_key(|s| std::cmp::Reverse(s.visits));
+    for s in &stats {
+        println!(
+            "  {}  visits {:>6}  mean {:.3}",
+            s.mv,
+            s.visits,
+            s.wins / s.visits.max(1) as f64
+        );
+    }
+
+    println!("\nprincipal variation:");
+    for (i, e) in principal_variation(&tree, 8).iter().enumerate() {
+        println!(
+            "  {:>2}. {}  ({} visits, mean {:.3})",
+            i + 1,
+            e.mv,
+            e.visits,
+            e.mean
+        );
+    }
+
+    let shape = tree_shape(&tree);
+    println!(
+        "\ntree shape: {} nodes, max depth {}, {} leaves, mean branching {:.2}",
+        shape.nodes, shape.max_depth, shape.leaves, shape.mean_branching
+    );
+    println!("nodes per depth:");
+    for (depth, n) in shape.depth_histogram.iter().enumerate() {
+        let bar = "#".repeat((*n as f64).log2().max(0.0) as usize + 1);
+        println!("  {depth:>2}: {n:>6} {bar}");
+    }
+}

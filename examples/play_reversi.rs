@@ -1,0 +1,87 @@
+//! Play Reversi against the block-parallel GPU agent from the terminal.
+//!
+//! You are White (O); the simulated-GPU MCTS plays Black (X). Enter moves
+//! as square names (`e6`) or `pass`. With no interactive stdin (e.g. CI),
+//! the example plays a short scripted opening against itself and exits.
+//!
+//! Run: `cargo run --release --example play_reversi`
+
+use pmcts::games::ReversiMove;
+use pmcts::prelude::*;
+use pmcts_games::{Game, MoveBuf};
+use std::io::BufRead;
+
+fn ai_move(searcher: &mut BlockParallelSearcher<Reversi>, state: &Reversi) -> ReversiMove {
+    let report = searcher.search(*state, SearchBudget::millis(100));
+    let mv = report.best_move.expect("non-terminal");
+    println!(
+        "GPU plays {mv}  ({} simulations over {} trees, depth {})",
+        report.simulations,
+        searcher.trees(),
+        report.max_depth
+    );
+    mv
+}
+
+fn read_human_move(state: &Reversi) -> Option<ReversiMove> {
+    let mut legal = MoveBuf::new();
+    state.legal_moves(&mut legal);
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        println!(
+            "your move ({}): ",
+            legal
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let line = lines.next()?.ok()?;
+        match ReversiMove::parse(&line) {
+            Some(mv) if legal.contains(&mv) => return Some(mv),
+            Some(_) => println!("illegal move"),
+            None => println!("could not parse '{line}' (try e.g. 'e6' or 'pass')"),
+        }
+    }
+}
+
+fn main() {
+    let mut searcher = BlockParallelSearcher::<Reversi>::new(
+        MctsConfig::default().with_seed(0xFACE),
+        Device::c2050(),
+        LaunchConfig::new(112, 64),
+    );
+    let mut state = Reversi::initial();
+    let mut human_connected = true;
+
+    while !state.is_terminal() {
+        println!("\n{state}\n");
+        let mv = match state.to_move() {
+            Player::P1 => ai_move(&mut searcher, &state),
+            Player::P2 => {
+                if human_connected {
+                    match read_human_move(&state) {
+                        Some(mv) => mv,
+                        None => {
+                            println!("(stdin closed — letting the GPU finish the game)");
+                            human_connected = false;
+                            ai_move(&mut searcher, &state)
+                        }
+                    }
+                } else {
+                    ai_move(&mut searcher, &state)
+                }
+            }
+        };
+        state.apply(mv);
+    }
+
+    println!("\n{state}\n");
+    let (b, w) = state.counts();
+    match state.outcome().unwrap() {
+        Outcome::Win(Player::P1) => println!("GPU (X) wins {b}-{w}"),
+        Outcome::Win(Player::P2) => println!("you (O) win {w}-{b}"),
+        Outcome::Draw => println!("draw {b}-{w}"),
+    }
+}

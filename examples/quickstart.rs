@@ -1,0 +1,54 @@
+//! Quickstart: search a Reversi position with the sequential baseline and
+//! with the paper's block-parallel GPU scheme, and compare.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use pmcts::prelude::*;
+
+fn main() {
+    let position = Reversi::initial();
+    println!("{position}\n");
+
+    // 1. Sequential UCT on one (simulated) CPU core, 100 ms per move.
+    let budget = SearchBudget::millis(100);
+    let mut cpu = SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(42));
+    let cpu_report = cpu.search(position, budget);
+    println!(
+        "sequential CPU : move {}  ({} simulations, tree depth {}, {:.0} sims/s virtual)",
+        cpu_report.best_move.unwrap(),
+        cpu_report.simulations,
+        cpu_report.max_depth,
+        cpu_report.sims_per_second(),
+    );
+
+    // 2. Block parallelism on a simulated Tesla C2050: one tree per GPU
+    //    block, 112 blocks x 64 threads, same virtual budget.
+    let mut gpu = BlockParallelSearcher::<Reversi>::new(
+        MctsConfig::default().with_seed(42),
+        Device::c2050(),
+        LaunchConfig::new(112, 64),
+    );
+    let gpu_report = gpu.search(position, budget);
+    println!(
+        "block-parallel : move {}  ({} simulations, tree depth {}, {:.0} sims/s virtual)",
+        gpu_report.best_move.unwrap(),
+        gpu_report.simulations,
+        gpu_report.max_depth,
+        gpu_report.sims_per_second(),
+    );
+
+    println!(
+        "\nSame virtual time budget; the GPU ran {:.0}x more simulations.",
+        gpu_report.simulations as f64 / cpu_report.simulations as f64
+    );
+
+    println!("\nroot statistics (block-parallel):");
+    for stat in &gpu_report.root_stats {
+        println!(
+            "  {}  visits {:>7}  mean value {:.3}",
+            stat.mv,
+            stat.visits,
+            stat.wins / stat.visits.max(1) as f64
+        );
+    }
+}

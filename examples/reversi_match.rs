@@ -1,0 +1,80 @@
+//! A full Reversi game: block-parallel GPU player (Black) against a
+//! single-core sequential MCTS (White), with the board printed as the game
+//! unfolds — the matchup behind the paper's Figs. 6–7.
+//!
+//! Run: `cargo run --release --example reversi_match`
+
+use pmcts::core::arena::play_game;
+use pmcts::prelude::*;
+use pmcts_games::Game;
+
+fn main() {
+    let budget = SearchBudget::millis(50);
+
+    let mut gpu_player = MctsPlayer::new(
+        BlockParallelSearcher::<Reversi>::new(
+            MctsConfig::default().with_seed(2024),
+            Device::c2050(),
+            LaunchConfig::new(112, 64),
+        ),
+        budget,
+    );
+    let mut cpu_player = MctsPlayer::new(
+        SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(4202)),
+        budget,
+    );
+
+    println!(
+        "Black (X): {}\nWhite (O): {}\nbudget: 50 ms virtual per move\n",
+        GamePlayer::<Reversi>::name(&gpu_player),
+        GamePlayer::<Reversi>::name(&cpu_player)
+    );
+
+    // Play move by move so we can narrate.
+    let mut state = Reversi::initial();
+    let mut ply = 0;
+    while !state.is_terminal() {
+        let mover = state.to_move();
+        let mv = match mover {
+            Player::P1 => gpu_player.choose(&state),
+            Player::P2 => cpu_player.choose(&state),
+        }
+        .expect("non-terminal");
+        state.apply(mv);
+        ply += 1;
+        let (b, w) = state.counts();
+        let who = if mover == Player::P1 { "X" } else { "O" };
+        println!("ply {ply:>2}: {who} plays {mv}   (X {b} - {w} O)");
+        if ply % 20 == 0 {
+            println!("\n{state}\n");
+        }
+    }
+
+    println!("\nfinal position:\n{state}\n");
+    let (b, w) = state.counts();
+    match state.outcome().unwrap() {
+        Outcome::Win(Player::P1) => println!("Black (GPU) wins {b}-{w}"),
+        Outcome::Win(Player::P2) => println!("White (CPU) wins {w}-{b}"),
+        Outcome::Draw => println!("draw {b}-{w}"),
+    }
+
+    // The same thing, headless, via the arena helper:
+    let record = play_game::<Reversi>(
+        &mut MctsPlayer::new(
+            BlockParallelSearcher::<Reversi>::new(
+                MctsConfig::default().with_seed(7),
+                Device::c2050(),
+                LaunchConfig::new(112, 64),
+            ),
+            budget,
+        ),
+        &mut MctsPlayer::new(
+            SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(8)),
+            budget,
+        ),
+    );
+    println!(
+        "\nrematch (headless): final score {:+} for Black over {} plies, {} GPU sims vs {} CPU sims",
+        record.final_score, record.plies, record.simulations[0], record.simulations[1]
+    );
+}

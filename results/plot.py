@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Plot the TSV series produced by the pmcts-bench figure regenerators.
+
+Usage:
+    python3 results/plot.py results/quick/fig5_speed.tsv [more.tsv ...]
+
+Each input file becomes one PNG next to it. Requires matplotlib; no other
+dependencies. The TSV format is the one print_series() writes: a `# name:
+title` header, then `## label` blocks of `x<TAB>y` rows.
+"""
+
+import sys
+from pathlib import Path
+
+
+def parse(path: Path):
+    title, series, current = path.stem, {}, None
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line.startswith("##"):
+            current = line[2:].strip()
+            series[current] = []
+        elif line.startswith("#"):
+            title = line[1:].strip()
+        elif line and current is not None:
+            x, y = line.split("\t")
+            series[current].append((float(x), float(y)))
+    return title, series
+
+
+def plot(path: Path) -> Path:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    title, series = parse(path)
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for label, points in series.items():
+        xs, ys = zip(*points)
+        ax.plot(xs, ys, marker="o", markersize=3, label=label)
+    # Thread-count sweeps read best on a log x-axis, like the paper.
+    xs_all = [x for pts in series.values() for x, _ in pts]
+    if xs_all and max(xs_all) / max(min(xs_all), 1) > 50:
+        ax.set_xscale("log", base=2)
+    ax.set_title(title, fontsize=9)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    out = path.with_suffix(".png")
+    fig.savefig(out, dpi=150)
+    plt.close(fig)
+    return out
+
+
+def main():
+    paths = [Path(p) for p in sys.argv[1:]]
+    if not paths:
+        paths = sorted(Path(__file__).parent.glob("*/*.tsv"))
+    if not paths:
+        sys.exit("no TSV files given or found under results/")
+    for path in paths:
+        print(f"{path} -> {plot(path)}")
+
+
+if __name__ == "__main__":
+    main()

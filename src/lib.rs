@@ -1,0 +1,16 @@
+//! `pmcts` — facade crate for the workspace.
+//!
+//! Re-exports the full public API: game engines (`games`), the simulated
+//! GPU (`gpu_sim`) and MPI (`mpi_sim`) substrates, shared utilities
+//! (`util`) and the MCTS searchers (`core` / the [`prelude`]).
+//!
+//! See the repository README for a tour and `examples/` for runnable
+//! programs.
+
+pub use pmcts_core as core;
+pub use pmcts_games as games;
+pub use pmcts_gpu_sim as gpu_sim;
+pub use pmcts_mpi_sim as mpi_sim;
+pub use pmcts_util as util;
+
+pub use pmcts_core::prelude;

@@ -1,0 +1,178 @@
+//! Playing-strength integration tests: the ordering claims of the paper's
+//! evaluation must hold in miniature on the simulator.
+//!
+//! All tests here are deterministic: the searchers, the arena and the
+//! virtual clocks are all seeded, so results are fixed — these are pinned
+//! regression checks, not flaky statistics.
+
+use pmcts::core::arena::MatchSeries;
+use pmcts::prelude::*;
+
+const MOVE_BUDGET: SearchBudget = SearchBudget::VirtualTime(SimTime::from_millis(5));
+
+#[test]
+fn mcts_crushes_random_at_reversi() {
+    let result = MatchSeries::<Reversi>::run(
+        6,
+        |g| {
+            Box::new(MctsPlayer::new(
+                SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(g)),
+                SearchBudget::Iterations(400),
+            ))
+        },
+        |g| Box::new(pmcts::core::player::RandomPlayer::new(900 + g)),
+    );
+    assert!(
+        result.winloss.wins >= 5,
+        "sequential MCTS should dominate random: {:?}",
+        result.winloss
+    );
+}
+
+#[test]
+fn gpu_block_parallel_beats_random_everywhere() {
+    let result = MatchSeries::<Connect4>::run(
+        6,
+        |g| {
+            Box::new(MctsPlayer::new(
+                BlockParallelSearcher::<Connect4>::new(
+                    MctsConfig::default().with_seed(g),
+                    Device::c2050(),
+                    LaunchConfig::new(8, 32),
+                ),
+                MOVE_BUDGET,
+            ))
+        },
+        |g| Box::new(pmcts::core::player::RandomPlayer::new(700 + g)),
+    );
+    assert!(
+        result.winloss.wins >= 5,
+        "block-parallel should dominate random at connect4: {:?}",
+        result.winloss
+    );
+}
+
+#[test]
+fn block_parallel_outperforms_leaf_parallel_at_equal_budget() {
+    // The paper's central claim (Fig. 6): with the same GPU resources and
+    // time, many trees (block) beat one tree with huge batches (leaf).
+    // 1024 threads each: leaf = 16x64 one tree, block = 32 trees x 32.
+    let games = 6;
+    let result = MatchSeries::<Reversi>::run(
+        games,
+        |g| {
+            Box::new(MctsPlayer::new(
+                BlockParallelSearcher::<Reversi>::new(
+                    MctsConfig::default().with_seed(g),
+                    Device::c2050(),
+                    LaunchConfig::new(32, 32),
+                ),
+                MOVE_BUDGET,
+            ))
+        },
+        |g| {
+            Box::new(MctsPlayer::new(
+                LeafParallelSearcher::<Reversi>::new(
+                    MctsConfig::default().with_seed(g.wrapping_add(300)),
+                    Device::c2050(),
+                    LaunchConfig::new(16, 64),
+                ),
+                MOVE_BUDGET,
+            ))
+        },
+    );
+    assert!(
+        result.win_ratio() >= 0.5,
+        "block-parallel should not lose to leaf-parallel: ratio {} ({:?})",
+        result.win_ratio(),
+        result.winloss
+    );
+}
+
+#[test]
+fn hybrid_grows_deeper_trees_than_gpu_only_in_matches() {
+    let launch = LaunchConfig::new(16, 32);
+    let budget = SearchBudget::VirtualTime(SimTime::from_millis(10));
+    let hybrid = MatchSeries::<Reversi>::run(
+        2,
+        |g| {
+            Box::new(MctsPlayer::new(
+                HybridSearcher::<Reversi>::new(
+                    MctsConfig::default().with_seed(g),
+                    Device::c2050(),
+                    launch,
+                ),
+                budget,
+            ))
+        },
+        |g| Box::new(pmcts::core::player::RandomPlayer::new(g)),
+    );
+    let gpu_only = MatchSeries::<Reversi>::run(
+        2,
+        |g| {
+            Box::new(MctsPlayer::new(
+                BlockParallelSearcher::<Reversi>::new(
+                    MctsConfig::default().with_seed(g),
+                    Device::c2050(),
+                    launch,
+                ),
+                budget,
+            ))
+        },
+        |g| Box::new(pmcts::core::player::RandomPlayer::new(g)),
+    );
+    let mean = |r: &pmcts::core::arena::SeriesResult| {
+        let steps = &r.depth_by_step;
+        steps.iter().map(|s| s.mean()).sum::<f64>() / steps.len().max(1) as f64
+    };
+    assert!(
+        mean(&hybrid) > mean(&gpu_only),
+        "hybrid mean depth {} should exceed gpu-only {}",
+        mean(&hybrid),
+        mean(&gpu_only)
+    );
+}
+
+#[test]
+fn more_root_parallel_threads_help() {
+    // Root parallelism with 8 trees should beat 1 tree at the same
+    // per-thread budget (paper refs [3][4]).
+    let result = MatchSeries::<Reversi>::run(
+        6,
+        |g| {
+            Box::new(MctsPlayer::new(
+                RootParallelSearcher::<Reversi>::new(MctsConfig::default().with_seed(g), 8),
+                MOVE_BUDGET,
+            ))
+        },
+        |g| {
+            Box::new(MctsPlayer::new(
+                SequentialSearcher::<Reversi>::new(
+                    MctsConfig::default().with_seed(g.wrapping_add(40)),
+                ),
+                MOVE_BUDGET,
+            ))
+        },
+    );
+    assert!(
+        result.win_ratio() >= 0.5,
+        "8 root-parallel threads should not lose to 1: {:?}",
+        result.winloss
+    );
+}
+
+#[test]
+fn match_traces_have_sane_shapes() {
+    let result = MatchSeries::<Reversi>::run(
+        2,
+        |g| Box::new(pmcts::core::player::RandomPlayer::new(g)),
+        |g| Box::new(pmcts::core::player::RandomPlayer::new(50 + g)),
+    );
+    assert_eq!(result.games, 2);
+    // Reversi games are 50+ plies: the trace must cover them.
+    assert!(result.score_by_step.len() >= 50);
+    // Early steps contain every game.
+    assert_eq!(result.score_by_step[0].count(), 2);
+    // Final mean score equals the recorded per-game scores' mean.
+    assert!(result.mean_score.count() == 2);
+}

@@ -1,0 +1,112 @@
+//! Property tests on the MCTS search tree: structural invariants must hold
+//! under arbitrary interleavings of select/expand/backprop.
+
+use pmcts::core::tree::{merge_root_stats, RootStat, SearchTree};
+use pmcts::games::{Game, Reversi};
+use pmcts::util::Xoshiro256pp;
+use proptest::prelude::*;
+
+/// Runs `iters` MCTS-shaped operations with batch sizes from `batches`,
+/// returning the tree and total simulation count.
+fn grow(seed: u64, iters: usize, batches: &[u64]) -> (SearchTree<Reversi>, u64) {
+    let mut tree = SearchTree::new(Reversi::initial());
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut total = 0u64;
+    for i in 0..iters {
+        let id = tree.select(1.4);
+        let node = if !tree.node(id).fully_expanded() {
+            tree.expand(id, &mut rng)
+        } else {
+            id
+        };
+        let count = batches[i % batches.len()].max(1);
+        // Synthetic reward: anything in [0, count].
+        let wins = (i as u64 * 7 % (count + 1)) as f64;
+        tree.backprop(node, wins, count);
+        total += count;
+    }
+    (tree, total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tree_invariants_hold_under_random_growth(
+        seed in any::<u64>(),
+        iters in 1usize..120,
+        batches in prop::collection::vec(1u64..64, 1..4),
+    ) {
+        let (tree, total) = grow(seed, iters, &batches);
+
+        // Root sees every simulation.
+        prop_assert_eq!(tree.node(tree.root()).visits, total);
+
+        for id in 0..tree.len() as u32 {
+            let node = tree.node(id);
+            // Reward never exceeds visits.
+            prop_assert!(node.wins >= 0.0);
+            prop_assert!(node.wins <= node.visits as f64 + 1e-9);
+            // Children were all reached through this node.
+            let child_visits: u64 = node.children.iter().map(|&c| tree.node(c).visits).sum();
+            prop_assert!(child_visits <= node.visits,
+                "node {} visits {} < children total {}", id, node.visits, child_visits);
+            for &c in &node.children {
+                prop_assert_eq!(tree.node(c).parent, Some(id));
+                prop_assert_eq!(tree.node(c).depth, node.depth + 1);
+                prop_assert!(tree.node(c).mv.is_some());
+            }
+        }
+
+        // max_depth matches the actual deepest node.
+        let deepest = (0..tree.len() as u32).map(|i| tree.node(i).depth).max().unwrap();
+        prop_assert_eq!(tree.max_depth(), deepest);
+    }
+
+    #[test]
+    fn root_stats_sum_matches_root_visits(seed in any::<u64>(), iters in 1usize..100) {
+        let (tree, total) = grow(seed, iters, &[1]);
+        let sum: u64 = tree.root_stats().iter().map(|s| s.visits).sum();
+        prop_assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn merging_stats_preserves_totals(
+        visits in prop::collection::vec((0u8..64, 0u64..1000), 0..20),
+    ) {
+        // Split arbitrary per-move tallies into two halves; the merge of
+        // the halves must preserve per-move and global totals.
+        let stats: Vec<RootStat<u8>> = visits
+            .iter()
+            .map(|&(mv, v)| RootStat { mv, visits: v, wins: v as f64 / 2.0 })
+            .collect();
+        let mid = stats.len() / 2;
+        let merged = merge_root_stats(&[stats[..mid].to_vec(), stats[mid..].to_vec()]);
+        let total_before: u64 = stats.iter().map(|s| s.visits).sum();
+        let total_after: u64 = merged.iter().map(|s| s.visits).sum();
+        prop_assert_eq!(total_before, total_after);
+        // No duplicate moves after merging.
+        let mut moves: Vec<u8> = merged.iter().map(|s| s.mv).collect();
+        moves.sort_unstable();
+        moves.dedup();
+        prop_assert_eq!(moves.len(), merged.len());
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_in_totals(
+        a in prop::collection::vec((0u8..8, 1u64..100), 0..8),
+        b in prop::collection::vec((0u8..8, 1u64..100), 0..8),
+    ) {
+        let to_stats = |v: &[(u8, u64)]| -> Vec<RootStat<u8>> {
+            v.iter().map(|&(mv, n)| RootStat { mv, visits: n, wins: 0.0 }).collect()
+        };
+        let ab = merge_root_stats(&[to_stats(&a), to_stats(&b)]);
+        let ba = merge_root_stats(&[to_stats(&b), to_stats(&a)]);
+        let total = |m: &[RootStat<u8>]| -> u64 { m.iter().map(|s| s.visits).sum() };
+        prop_assert_eq!(total(&ab), total(&ba));
+        for s in &ab {
+            let other = ba.iter().find(|o| o.mv == s.mv).expect("move present both ways");
+            prop_assert_eq!(other.visits, s.visits);
+        }
+    }
+}
