@@ -47,6 +47,11 @@ fn main() {
     let mut leaf64 = Series::new("leaf parallelism (block size = 64)");
     let mut block32 = Series::new("block parallelism (block size = 32)");
     let mut block128 = Series::new("block parallelism (block size = 128)");
+    // The measured decomposition behind the saturation story: the fraction
+    // of virtual time the host spends *outside* the kernel phase grows with
+    // the tree count (select/expand over every tree is sequential).
+    let mut host32 = Series::new("block-32 host share (1 - kernel share)");
+    let mut host128 = Series::new("block-128 host share (1 - kernel share)");
 
     for threads in thread_sweep(args.full) {
         let cfg = MctsConfig::default().with_seed(args.seed);
@@ -66,16 +71,22 @@ fn main() {
         )
         .search(position, budget);
         block32.push(threads as f64, r.sims_per_second());
+        host32.push(threads as f64, 1.0 - r.phases.kernel_share());
+        let b32_kernel = r.phases.kernel_share();
 
         let r = BlockParallelSearcher::<Reversi>::new(cfg, device.clone(), geometry(threads, 128))
             .search(position, budget);
         block128.push(threads as f64, r.sims_per_second());
+        host128.push(threads as f64, 1.0 - r.phases.kernel_share());
 
         eprintln!(
-            "threads={threads:>6}  leaf64={:>10.0}  block32={:>10.0}  block128={:>10.0} sims/s",
+            "threads={threads:>6}  leaf64={:>10.0}  block32={:>10.0}  block128={:>10.0} sims/s  \
+             kernel share: b32={:>5.1}% b128={:>5.1}%",
             leaf64.points.last().unwrap().1,
             block32.points.last().unwrap().1,
             block128.points.last().unwrap().1,
+            b32_kernel * 100.0,
+            r.phases.kernel_share() * 100.0,
         );
     }
 
@@ -83,6 +94,12 @@ fn main() {
         "fig5_speed",
         "simulations/second vs GPU threads (Rocki & Suda Fig. 5)",
         &[leaf64, block32, block128],
+        &args,
+    );
+    print_series(
+        "fig5_speed_phases",
+        "host-sequential share of virtual time vs GPU threads (measured phase ledger)",
+        &[host32, host128],
         &args,
     );
 }

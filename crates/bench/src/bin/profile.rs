@@ -1,0 +1,96 @@
+//! Phase-level profile of every parallelization scheme.
+//!
+//! Runs each scheme in the taxonomy over a launch-geometry sweep (thread
+//! counts for the CPU schemes) on the same mid-game position and emits one
+//! JSON record per run carrying the exact six-phase time ledger, the work
+//! counters, and the folded device statistics — the machine-readable
+//! counterpart of the paper's Fig. 5 host-vs-kernel decomposition.
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin profile -- [--full]`
+//! (`--out DIR` also writes `DIR/profile.json`).
+
+use pmcts_bench::{midgame_position, phase_record, write_json, BenchArgs, JsonObject};
+use pmcts_core::prelude::*;
+use pmcts_mpi_sim::NetworkModel;
+
+/// GPU launch geometries to sweep (blocks × threads-per-block).
+fn geometries(full: bool) -> Vec<(u32, u32)> {
+    if full {
+        vec![(4, 32), (14, 64), (28, 64), (56, 128), (112, 128)]
+    } else {
+        vec![(4, 32), (14, 64)]
+    }
+}
+
+/// CPU thread counts to sweep for the host-side schemes.
+fn cpu_threads(full: bool) -> Vec<usize> {
+    if full {
+        vec![2, 4, 8, 16]
+    } else {
+        vec![4]
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let position = midgame_position(args.seed, 20);
+    let iters = if args.full { 16 } else { 4 };
+    let budget = SearchBudget::Iterations(iters);
+    let cfg = || MctsConfig::default().with_seed(args.seed);
+    let device = Device::c2050();
+    let net = NetworkModel::infiniband();
+    let mut records: Vec<JsonObject> = Vec::new();
+
+    // Verify the ledger's central invariant on every record we emit.
+    let checked = |scheme: &str, r: &SearchReport<<Reversi as Game>::Move>| {
+        assert_eq!(
+            r.phases.phase_sum(),
+            r.elapsed,
+            "{scheme}: phase sum must equal elapsed exactly"
+        );
+        phase_record(scheme, r)
+    };
+
+    // Host-only baselines (geometry-independent).
+    let r = SequentialSearcher::<Reversi>::new(cfg()).search(position, budget);
+    records.push(checked("sequential", &r));
+    let r = PersistentSearcher::<Reversi>::new(cfg()).search(position, budget);
+    records.push(checked("persistent", &r));
+
+    for threads in cpu_threads(args.full) {
+        let r = RootParallelSearcher::<Reversi>::new(cfg(), threads).search(position, budget);
+        records.push(checked("root_parallel", &r).u64_field("threads", threads as u64));
+        let r = TreeParallelSearcher::<Reversi>::new(cfg(), threads).search(position, budget);
+        records.push(checked("tree_parallel", &r).u64_field("threads", threads as u64));
+        let r =
+            MultiNodeCpuSearcher::<Reversi>::new(cfg(), 2, threads, net).search(position, budget);
+        records.push(
+            checked("multi_node_cpu", &r)
+                .u64_field("ranks", 2)
+                .u64_field("threads", threads as u64),
+        );
+    }
+
+    for (blocks, tpb) in geometries(args.full) {
+        let launch = LaunchConfig::new(blocks, tpb);
+        let geom = |o: JsonObject| {
+            o.u64_field("blocks", blocks as u64)
+                .u64_field("threads_per_block", tpb as u64)
+        };
+        let r = LeafParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch)
+            .search(position, budget);
+        records.push(geom(checked("leaf_parallel", &r)));
+        let r = BlockParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch)
+            .search(position, budget);
+        records.push(geom(checked("block_parallel", &r)));
+        let r =
+            HybridSearcher::<Reversi>::new(cfg(), device.clone(), launch).search(position, budget);
+        records.push(geom(checked("hybrid", &r)));
+        let r = MultiGpuSearcher::<Reversi>::new(cfg(), 2, DeviceSpec::tesla_c2050(), launch, net)
+            .search(position, budget);
+        records.push(geom(checked("multi_gpu", &r)).u64_field("ranks", 2));
+    }
+
+    eprintln!("{} records, {iters} iterations each", records.len());
+    write_json("profile", &records, &args);
+}

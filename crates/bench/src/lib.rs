@@ -92,7 +92,7 @@ fn expect_num(it: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "{msg}\n\nflags:\n  --quick          CI-sized sweep (default)\n  --full           paper-sized sweep\n  --seed N         base RNG seed\n  --games N        games per configuration\n  --move-ms N      per-move virtual budget in milliseconds\n  --out DIR        also write TSV files to DIR"
+        "{msg}\n\nflags:\n  --quick          CI-sized sweep (default)\n  --full           paper-sized sweep\n  --seed N         base RNG seed\n  --games N        games per configuration\n  --move-ms N      per-move virtual budget in milliseconds\n  --out DIR        also write output files (TSV/JSON) to DIR"
     );
     std::process::exit(2)
 }
@@ -115,6 +115,126 @@ pub fn print_series(name: &str, title: &str, series: &[Series], args: &BenchArgs
         let path = format!("{dir}/{name}.tsv");
         let mut f = std::fs::File::create(&path).expect("create tsv");
         f.write_all(text.as_bytes()).expect("write tsv");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// A tiny hand-rolled JSON object builder (the workspace carries no JSON
+/// dependency): fields keep insertion order, strings are escaped, floats
+/// are emitted finite-or-zero so output always parses.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn str_field(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), json_string(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn u64_field(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field (non-finite values become 0 so the output stays
+    /// valid JSON).
+    pub fn f64_field(mut self, key: &str, value: f64) -> Self {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.fields.push((key.to_string(), format!("{v}")));
+        self
+    }
+
+    /// Renders `{"k": v, ...}`.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{}: {v}", json_string(k)))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Escapes and quotes a JSON string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builds the JSON record for one scheme's
+/// [`SearchReport`](pmcts_core::prelude::SearchReport) — the unit the
+/// `profile` binary emits: identity, totals, the exact six-phase ledger
+/// (nanoseconds), overlap measures, and folded device statistics.
+pub fn phase_record<M>(scheme: &str, report: &pmcts_core::prelude::SearchReport<M>) -> JsonObject {
+    let p = &report.phases;
+    JsonObject::new()
+        .str_field("scheme", scheme)
+        .u64_field("simulations", report.simulations)
+        .u64_field("iterations", report.iterations)
+        .u64_field("tree_nodes", report.tree_nodes)
+        .u64_field("max_depth", report.max_depth as u64)
+        .u64_field("elapsed_ns", report.elapsed.as_nanos())
+        .f64_field("sims_per_second", report.sims_per_second())
+        .u64_field("select_ns", p.select.as_nanos())
+        .u64_field("expand_ns", p.expand.as_nanos())
+        .u64_field("upload_ns", p.upload.as_nanos())
+        .u64_field("kernel_ns", p.kernel.as_nanos())
+        .u64_field("readback_ns", p.readback.as_nanos())
+        .u64_field("merge_ns", p.merge.as_nanos())
+        .u64_field("shadow_overlap_ns", p.shadow_overlap.as_nanos())
+        .u64_field("overlap_saved_ns", p.overlap_saved.as_nanos())
+        .u64_field("expansions", p.expansions)
+        .u64_field("kernel_launches", p.kernel_launches)
+        .u64_field("shadow_iterations", p.shadow_iterations)
+        .u64_field("warp_steps", p.warp_steps)
+        .u64_field("lane_steps", p.lane_steps)
+        .u64_field("idle_lane_steps", p.idle_lane_steps)
+        .f64_field("kernel_share", p.kernel_share())
+        .f64_field("mean_occupancy", p.mean_occupancy())
+        .f64_field("lane_efficiency", p.lane_efficiency())
+}
+
+/// Prints `records` as a JSON array to stdout and, with `--out DIR`, writes
+/// `DIR/<name>.json` — the JSON sibling of [`print_series`].
+pub fn write_json(name: &str, records: &[JsonObject], args: &BenchArgs) {
+    let mut text = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        text.push_str("  ");
+        text.push_str(&r.render());
+        if i + 1 < records.len() {
+            text.push(',');
+        }
+        text.push('\n');
+    }
+    text.push_str("]\n");
+    print!("{text}");
+    if let Some(dir) = &args.out_dir {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        let path = format!("{dir}/{name}.json");
+        let mut f = std::fs::File::create(&path).expect("create json");
+        f.write_all(text.as_bytes()).expect("write json");
         eprintln!("wrote {path}");
     }
 }
@@ -152,6 +272,19 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         assert_ne!(midgame_position(1, 20), midgame_position(2, 20));
+    }
+
+    #[test]
+    fn json_object_renders_escaped_ordered_fields() {
+        let o = JsonObject::new()
+            .str_field("name", "a \"quoted\"\nvalue")
+            .u64_field("n", 42)
+            .f64_field("x", 0.5)
+            .f64_field("bad", f64::NAN);
+        assert_eq!(
+            o.render(),
+            r#"{"name": "a \"quoted\"\nvalue", "n": 42, "x": 0.5, "bad": 0}"#
+        );
     }
 
     #[test]

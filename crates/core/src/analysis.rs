@@ -119,7 +119,11 @@ mod tests {
         let mut tree = SearchTree::new(Reversi::initial());
         let mut tracker = BudgetTracker::new(SearchBudget::Iterations(iters));
         let mut s = SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(3));
-        s.run_on_tree(&mut tree, &mut tracker);
+        s.run_on_tree(
+            &mut tree,
+            &mut tracker,
+            &mut crate::telemetry::PhaseBreakdown::new(),
+        );
         tree
     }
 

@@ -16,6 +16,7 @@
 use crate::config::{MctsConfig, SearchBudget};
 use crate::gpu::{aggregate, PlayoutKernel};
 use crate::searcher::{BudgetTracker, SearchReport, Searcher};
+use crate::telemetry::PhaseBreakdown;
 use crate::tree::{best_from_stats, merge_root_stats, SearchTree};
 use pmcts_games::Game;
 use pmcts_gpu_sim::{Device, LaunchConfig};
@@ -84,16 +85,17 @@ impl<G: Game> BlockParallelSearcher<G> {
         &mut self,
         root: G,
         budget: SearchBudget,
-    ) -> (Vec<SearchTree<G>>, BudgetTracker, u64) {
+    ) -> (Vec<SearchTree<G>>, BudgetTracker, u64, PhaseBreakdown) {
         let blocks = self.launch.blocks as usize;
         let tpb = self.launch.threads_per_block as usize;
         let mut trees: Vec<SearchTree<G>> = (0..blocks).map(|_| SearchTree::new(root)).collect();
         let mut tracker = BudgetTracker::new(budget);
+        let mut phases = PhaseBreakdown::new();
         let mut simulations = 0u64;
         let cpu = self.config.cpu_cost;
 
         if trees[0].node(0).is_terminal() {
-            return (trees, tracker, 0);
+            return (trees, tracker, 0, phases);
         }
 
         while tracker.may_continue() {
@@ -103,11 +105,15 @@ impl<G: Game> BlockParallelSearcher<G> {
             for tree in trees.iter_mut() {
                 let selected = tree.select(self.config.exploration_c);
                 let node = if !tree.node(selected).fully_expanded() {
+                    phases.expansions += 1;
                     tree.expand(selected, &mut self.rng)
                 } else {
                     selected
                 };
-                host_cost += cpu.tree_op(tree.node(node).depth);
+                let depth = tree.node(node).depth;
+                host_cost += cpu.tree_op(depth);
+                phases.select += cpu.select_cost(depth);
+                phases.expand += cpu.expand_cost();
                 frontier.push((node, tree.node(node).state));
             }
 
@@ -126,12 +132,18 @@ impl<G: Game> BlockParallelSearcher<G> {
                 let (wins_p1, n) = aggregate(lanes);
                 tree.backprop(frontier[b].0, wins_p1, n);
                 simulations += n;
+                phases.simulations += n;
             }
+
+            phases.upload += cpu.launch_prep + upload;
+            phases.kernel += result.stats.launch_overhead + result.stats.device_time;
+            phases.readback += result.stats.readback_time;
+            phases.record_launch(&result.stats);
 
             tracker.charge(host_cost + upload + result.stats.elapsed());
         }
 
-        (trees, tracker, simulations)
+        (trees, tracker, simulations, phases)
     }
 }
 
@@ -141,6 +153,7 @@ pub(crate) fn report_from_trees<G: Game>(
     trees: &[SearchTree<G>],
     tracker: &BudgetTracker,
     simulations: u64,
+    phases: PhaseBreakdown,
 ) -> SearchReport<G::Move> {
     let merged = merge_root_stats(&trees.iter().map(|t| t.root_stats()).collect::<Vec<_>>());
     SearchReport {
@@ -151,13 +164,14 @@ pub(crate) fn report_from_trees<G: Game>(
         max_depth: trees.iter().map(|t| t.max_depth()).max().unwrap_or(0),
         elapsed: tracker.elapsed,
         root_stats: merged,
+        phases,
     }
 }
 
 impl<G: Game> Searcher<G> for BlockParallelSearcher<G> {
     fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
-        let (trees, tracker, sims) = self.search_trees(root, budget);
-        report_from_trees(&self.config, &trees, &tracker, sims)
+        let (trees, tracker, sims, phases) = self.search_trees(root, budget);
+        report_from_trees(&self.config, &trees, &tracker, sims, phases)
     }
 
     fn name(&self) -> String {
@@ -280,7 +294,7 @@ mod tests {
     fn trees_develop_independently() {
         let mut s =
             BlockParallelSearcher::<Reversi>::new(cfg(7), device(), LaunchConfig::new(2, 32));
-        let (trees, _, _) = s.search_trees(Reversi::initial(), SearchBudget::Iterations(10));
+        let (trees, _, _, _) = s.search_trees(Reversi::initial(), SearchBudget::Iterations(10));
         // Two trees with independent randomness almost surely differ in
         // their root statistics after 10 iterations.
         assert_ne!(trees[0].root_stats(), trees[1].root_stats());

@@ -70,7 +70,23 @@ impl CpuCostModel {
     /// Virtual cost of one tree operation reaching `depth`.
     #[inline]
     pub fn tree_op(&self, depth: u32) -> SimTime {
-        self.tree_op_base + self.tree_op_per_depth * depth as u64
+        self.select_cost(depth) + self.expand_cost()
+    }
+
+    /// The depth-proportional share of a tree operation — the UCB descent
+    /// (and mirrored backprop walk). Telemetry bills this to the `select`
+    /// phase; `select_cost + expand_cost == tree_op` exactly.
+    #[inline]
+    pub fn select_cost(&self, depth: u32) -> SimTime {
+        self.tree_op_per_depth * depth as u64
+    }
+
+    /// The fixed share of a tree operation — node creation, statistics
+    /// updates, allocator traffic. Telemetry bills this to the `expand`
+    /// phase.
+    #[inline]
+    pub fn expand_cost(&self) -> SimTime {
+        self.tree_op_base
     }
 
     /// Approximate playouts/second this model yields for games averaging

@@ -18,6 +18,7 @@ use crate::config::{MctsConfig, SearchBudget};
 use crate::gpu::{aggregate, PlayoutKernel};
 use crate::searcher::{BudgetTracker, SearchReport, Searcher};
 use crate::sequential::SequentialSearcher;
+use crate::telemetry::PhaseBreakdown;
 use crate::tree::SearchTree;
 use pmcts_games::Game;
 use pmcts_gpu_sim::{Device, LaunchConfig};
@@ -67,6 +68,7 @@ impl<G: Game> Searcher<G> for HybridSearcher<G> {
         let tpb = self.launch.threads_per_block as usize;
         let mut trees: Vec<SearchTree<G>> = (0..blocks).map(|_| SearchTree::new(root)).collect();
         let mut tracker = BudgetTracker::new(budget);
+        let mut phases = PhaseBreakdown::new();
         let mut simulations = 0u64;
         let cpu = self.config.cpu_cost;
         let mut kernel_estimate: Option<SimTime> = None;
@@ -87,11 +89,15 @@ impl<G: Game> Searcher<G> for HybridSearcher<G> {
                 for tree in trees.iter_mut() {
                     let selected = tree.select(self.config.exploration_c);
                     let node = if !tree.node(selected).fully_expanded() {
+                        phases.expansions += 1;
                         tree.expand(selected, &mut self.rng)
                     } else {
                         selected
                     };
-                    host_cost += cpu.tree_op(tree.node(node).depth);
+                    let depth = tree.node(node).depth;
+                    host_cost += cpu.tree_op(depth);
+                    phases.select += cpu.select_cost(depth);
+                    phases.expand += cpu.expand_cost();
                     frontier.push((node, tree.node(node).state));
                 }
 
@@ -105,18 +111,24 @@ impl<G: Game> Searcher<G> for HybridSearcher<G> {
                 // CPU shadow work while the kernel flies: plain sequential
                 // MCTS iterations, round-robin over the same trees, bounded
                 // by the previous kernel's virtual duration so accounting
-                // stays deterministic.
+                // stays deterministic. Shadow phase times go into `scratch`
+                // first: whether they land in the breakdown depends on which
+                // side of the overlap is the critical path.
                 let mut shadow_elapsed = SimTime::ZERO;
+                let mut scratch = PhaseBreakdown::new();
                 if let Some(est) = kernel_estimate {
                     let mut shadow = BudgetTracker::new(SearchBudget::VirtualTime(est));
                     while shadow.elapsed + est_iter <= est {
                         let before = shadow.elapsed;
                         let tree = &mut trees[cpu_turn % blocks];
-                        simulations += self.cpu_worker.one_iteration(tree, &mut shadow);
+                        simulations +=
+                            self.cpu_worker
+                                .one_iteration(tree, &mut shadow, &mut scratch);
                         est_iter = (shadow.elapsed - before).max(SimTime::from_nanos(1));
                         cpu_turn += 1;
                     }
                     shadow_elapsed = shadow.elapsed;
+                    scratch.shadow_iterations = shadow.iterations;
                 }
 
                 let result = pending.wait();
@@ -125,20 +137,42 @@ impl<G: Game> Searcher<G> for HybridSearcher<G> {
                     let (wins_p1, n) = aggregate(lanes);
                     tree.backprop(frontier[b].0, wins_p1, n);
                     simulations += n;
+                    phases.simulations += n;
                 }
 
                 // The CPU work overlapped the kernel: charge the longer of
                 // the two, plus the non-overlapped host-sequential parts.
-                let overlapped = result.stats.elapsed().max(shadow_elapsed);
+                // The breakdown charges the critical side's phases; the
+                // hidden side's time is recorded as `overlap_saved`.
+                let kernel_elapsed = result.stats.elapsed();
+                phases.upload += cpu.launch_prep + upload;
+                phases.record_launch(&result.stats);
+                if kernel_elapsed >= shadow_elapsed {
+                    phases.kernel += result.stats.launch_overhead + result.stats.device_time;
+                    phases.readback += result.stats.readback_time;
+                    phases.overlap_saved += shadow_elapsed;
+                } else {
+                    phases.select += scratch.select;
+                    phases.expand += scratch.expand;
+                    phases.kernel += scratch.kernel;
+                    phases.overlap_saved += kernel_elapsed;
+                }
+                phases.shadow_overlap += shadow_elapsed;
+                phases.absorb_counters(&scratch);
+
+                let overlapped = kernel_elapsed.max(shadow_elapsed);
                 tracker.charge(host_cost + upload + overlapped);
-                kernel_estimate = Some(result.stats.elapsed());
+                kernel_estimate = Some(kernel_elapsed);
             }
         }
 
-        let mut report =
-            crate::block_parallel::report_from_trees(&self.config, &trees, &tracker, simulations);
-        report.simulations = simulations;
-        report
+        crate::block_parallel::report_from_trees(
+            &self.config,
+            &trees,
+            &tracker,
+            simulations,
+            phases,
+        )
     }
 
     fn name(&self) -> String {

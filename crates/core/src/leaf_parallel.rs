@@ -11,6 +11,7 @@
 use crate::config::{MctsConfig, SearchBudget};
 use crate::gpu::{aggregate, PlayoutKernel};
 use crate::searcher::{BudgetTracker, SearchReport, Searcher};
+use crate::telemetry::PhaseBreakdown;
 use crate::tree::SearchTree;
 use pmcts_games::Game;
 use pmcts_gpu_sim::{Device, LaunchConfig};
@@ -77,6 +78,7 @@ impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
     fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
         let mut tree = SearchTree::new(root);
         let mut tracker = BudgetTracker::new(budget);
+        let mut phases = PhaseBreakdown::new();
         let mut simulations = 0u64;
         let cpu = self.config.cpu_cost;
 
@@ -85,6 +87,7 @@ impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
                 // Selection + expansion on the host.
                 let selected = tree.select(self.config.exploration_c);
                 let node = if !tree.node(selected).fully_expanded() {
+                    phases.expansions += 1;
                     tree.expand(selected, &mut self.rng)
                 } else {
                     selected
@@ -100,6 +103,14 @@ impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
                 tree.backprop(node, wins_p1, n);
                 simulations += n;
 
+                phases.select += cpu.select_cost(depth);
+                phases.expand += cpu.expand_cost();
+                phases.upload += cpu.launch_prep + upload;
+                phases.kernel += result.stats.launch_overhead + result.stats.device_time;
+                phases.readback += result.stats.readback_time;
+                phases.simulations += n;
+                phases.record_launch(&result.stats);
+
                 tracker
                     .charge(cpu.tree_op(depth) + cpu.launch_prep + upload + result.stats.elapsed());
             }
@@ -113,6 +124,7 @@ impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
             max_depth: tree.max_depth(),
             elapsed: tracker.elapsed,
             root_stats: tree.root_stats(),
+            phases,
         }
     }
 

@@ -58,6 +58,7 @@ pub mod player;
 pub mod root_parallel;
 pub mod searcher;
 pub mod sequential;
+pub mod telemetry;
 pub mod tree;
 pub mod tree_parallel;
 pub mod ucb;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::root_parallel::RootParallelSearcher;
     pub use crate::searcher::{SearchReport, Searcher};
     pub use crate::sequential::SequentialSearcher;
+    pub use crate::telemetry::PhaseBreakdown;
     pub use crate::tree_parallel::TreeParallelSearcher;
     pub use pmcts_games::{Connect4, Game, Hex7, Outcome, Player, Reversi, TicTacToe};
     pub use pmcts_gpu_sim::{Device, DeviceSpec, LaunchConfig};

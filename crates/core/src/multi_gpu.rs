@@ -11,6 +11,7 @@
 use crate::block_parallel::BlockParallelSearcher;
 use crate::config::{MctsConfig, SearchBudget};
 use crate::searcher::{SearchReport, Searcher};
+use crate::telemetry::{critical_index, PhaseBreakdown};
 use crate::tree::{best_from_stats, merge_root_stats, RootStat};
 use pmcts_games::Game;
 use pmcts_gpu_sim::{Device, DeviceSpec, LaunchConfig};
@@ -91,20 +92,28 @@ impl<G: Game> Searcher<G> for MultiGpuSearcher<G> {
         let stats_bytes = (merged.len() * std::mem::size_of::<RootStat<G::Move>>()) as u64;
         let comm_cost = self.network.allreduce_time(stats_bytes, ranks);
 
+        // Ranks run concurrently; the merge costs one allreduce. Phase
+        // times follow the critical (slowest) rank plus the allreduce in
+        // `merge`, so they still sum to elapsed; counters sum over ranks.
+        let mut phases = PhaseBreakdown::new();
+        for (r, _) in &per_rank {
+            phases.absorb_counters(&r.phases);
+        }
+        let crit = critical_index(per_rank.iter().map(|(r, _)| r.elapsed));
+        if let Some(i) = crit {
+            phases.adopt_times(&per_rank[i].0.phases);
+        }
+        phases.merge += comm_cost;
+
         SearchReport {
             best_move: best_from_stats(&merged, self.config.final_move),
             simulations: per_rank.iter().map(|(r, _)| r.simulations).sum(),
             iterations: per_rank.iter().map(|(r, _)| r.iterations).sum(),
             tree_nodes: per_rank.iter().map(|(r, _)| r.tree_nodes).sum(),
             max_depth: per_rank.iter().map(|(r, _)| r.max_depth).max().unwrap_or(0),
-            // Ranks run concurrently; the merge costs one allreduce.
-            elapsed: per_rank
-                .iter()
-                .map(|(r, _)| r.elapsed)
-                .max()
-                .unwrap_or(SimTime::ZERO)
-                + comm_cost,
+            elapsed: crit.map(|i| per_rank[i].0.elapsed).unwrap_or(SimTime::ZERO) + comm_cost,
             root_stats: merged,
+            phases,
         }
     }
 

@@ -9,6 +9,7 @@
 use crate::config::{MctsConfig, SearchBudget};
 use crate::searcher::{BudgetTracker, SearchReport, Searcher};
 use crate::sequential::SequentialSearcher;
+use crate::telemetry::PhaseBreakdown;
 use crate::tree::SearchTree;
 use pmcts_games::Game;
 
@@ -73,9 +74,10 @@ impl<G: Game> Searcher<G> for PersistentSearcher<G> {
         };
 
         let mut tracker = BudgetTracker::new(budget);
+        let mut phases = PhaseBreakdown::new();
         let mut simulations = 0;
         if !tree.node(tree.root()).is_terminal() {
-            simulations = self.inner.run_on_tree(&mut tree, &mut tracker);
+            simulations = self.inner.run_on_tree(&mut tree, &mut tracker, &mut phases);
         }
         let report = SearchReport {
             best_move: tree.best_move(self.config.final_move),
@@ -85,6 +87,7 @@ impl<G: Game> Searcher<G> for PersistentSearcher<G> {
             max_depth: tree.max_depth(),
             elapsed: tracker.elapsed,
             root_stats: tree.root_stats(),
+            phases,
         };
         self.carry = Some(tree);
         report
@@ -193,7 +196,11 @@ mod subtree_tests {
         let mut tree = SearchTree::new(pmcts_games::Game::initial());
         let mut tracker = BudgetTracker::new(SearchBudget::Iterations(300));
         let mut s = SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(9));
-        s.run_on_tree(&mut tree, &mut tracker);
+        s.run_on_tree(
+            &mut tree,
+            &mut tracker,
+            &mut crate::telemetry::PhaseBreakdown::new(),
+        );
 
         let child = tree.node(tree.root()).children[0];
         let child_visits = tree.node(child).visits;
@@ -229,7 +236,11 @@ mod subtree_tests {
         let mut tree = SearchTree::new(pmcts_games::Game::initial());
         let mut tracker = BudgetTracker::new(SearchBudget::Iterations(100));
         let mut s = SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(10));
-        s.run_on_tree(&mut tree, &mut tracker);
+        s.run_on_tree(
+            &mut tree,
+            &mut tracker,
+            &mut crate::telemetry::PhaseBreakdown::new(),
+        );
 
         let child = tree.node(tree.root()).children[0];
         let state = tree.node(child).state;

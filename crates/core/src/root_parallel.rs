@@ -13,6 +13,7 @@
 use crate::config::{MctsConfig, SearchBudget};
 use crate::searcher::{SearchReport, Searcher};
 use crate::sequential::SequentialSearcher;
+use crate::telemetry::{critical_index, PhaseBreakdown};
 use crate::tree::{best_from_stats, merge_root_stats};
 use pmcts_games::Game;
 
@@ -128,19 +129,28 @@ impl<G: Game> Searcher<G> for RootParallelSearcher<G> {
                 .map(|r| r.root_stats.clone())
                 .collect::<Vec<_>>(),
         );
+        // Threads run concurrently: elapsed = the slowest tree, and the
+        // phase times are that critical tree's (so they still sum to
+        // elapsed exactly); work counters are summed over all trees.
+        let mut phases = PhaseBreakdown::new();
+        for r in &reports {
+            phases.absorb_counters(&r.phases);
+        }
+        let crit = critical_index(reports.iter().map(|r| r.elapsed));
+        if let Some(i) = crit {
+            phases.adopt_times(&reports[i].phases);
+        }
         SearchReport {
             best_move: best_from_stats(&merged, config.final_move),
             simulations: reports.iter().map(|r| r.simulations).sum(),
             iterations: reports.iter().map(|r| r.iterations).sum(),
             tree_nodes: reports.iter().map(|r| r.tree_nodes).sum(),
             max_depth: reports.iter().map(|r| r.max_depth).max().unwrap_or(0),
-            // Threads run concurrently: elapsed = the slowest tree.
-            elapsed: reports
-                .iter()
-                .map(|r| r.elapsed)
-                .max()
+            elapsed: crit
+                .map(|i| reports[i].elapsed)
                 .unwrap_or(pmcts_util::SimTime::ZERO),
             root_stats: merged,
+            phases,
         }
     }
 

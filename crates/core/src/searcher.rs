@@ -1,6 +1,7 @@
 //! The common searcher interface and search reports.
 
 use crate::config::SearchBudget;
+use crate::telemetry::PhaseBreakdown;
 use crate::tree::RootStat;
 use pmcts_games::Game;
 use pmcts_util::SimTime;
@@ -26,6 +27,10 @@ pub struct SearchReport<M> {
     pub elapsed: SimTime,
     /// Merged root statistics (for analysis and cross-tree merging).
     pub root_stats: Vec<RootStat<M>>,
+    /// Exact per-phase decomposition of `elapsed` (select / expand /
+    /// upload / kernel / readback / merge sum to it to the nanosecond),
+    /// plus work counters and folded device statistics.
+    pub phases: PhaseBreakdown,
 }
 
 impl<M> SearchReport<M> {
@@ -109,6 +114,7 @@ mod tests {
             max_depth: 0,
             elapsed: SimTime::from_millis(500),
             root_stats: vec![],
+            phases: PhaseBreakdown::default(),
         };
         assert!((r.sims_per_second() - 1000.0).abs() < 1e-9);
     }
@@ -123,6 +129,7 @@ mod tests {
             max_depth: 0,
             elapsed: SimTime::ZERO,
             root_stats: vec![],
+            phases: PhaseBreakdown::default(),
         };
         assert_eq!(r.sims_per_second(), 0.0);
     }

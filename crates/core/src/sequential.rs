@@ -7,6 +7,7 @@
 
 use crate::config::{MctsConfig, SearchBudget};
 use crate::searcher::{BudgetTracker, SearchReport, Searcher};
+use crate::telemetry::PhaseBreakdown;
 use crate::tree::SearchTree;
 use pmcts_games::{random_playout, Game, Player};
 use pmcts_util::Xoshiro256pp;
@@ -56,9 +57,10 @@ impl<G: Game> SequentialSearcher<G> {
     ) -> (SearchReport<G::Move>, SearchTree<G>) {
         let mut tree = SearchTree::new(root);
         let mut tracker = BudgetTracker::new(budget);
+        let mut phases = PhaseBreakdown::new();
         let mut simulations = 0u64;
         if !tree.node(tree.root()).is_terminal() {
-            simulations = self.run_on_tree(&mut tree, &mut tracker);
+            simulations = self.run_on_tree(&mut tree, &mut tracker, &mut phases);
         }
         let report = SearchReport {
             best_move: tree.best_move(self.config.final_move),
@@ -68,6 +70,7 @@ impl<G: Game> SequentialSearcher<G> {
             max_depth: tree.max_depth(),
             elapsed: tracker.elapsed,
             root_stats: tree.root_stats(),
+            phases,
         };
         (report, tree)
     }
@@ -79,24 +82,29 @@ impl<G: Game> SequentialSearcher<G> {
         &mut self,
         tree: &mut SearchTree<G>,
         tracker: &mut BudgetTracker,
+        phases: &mut PhaseBreakdown,
     ) -> u64 {
         let mut sims = 0;
         while tracker.may_continue() {
-            sims += self.one_iteration(tree, tracker);
+            sims += self.one_iteration(tree, tracker, phases);
         }
         sims
     }
 
     /// One full select/expand/simulate/backprop iteration; returns the
-    /// number of simulations performed (always 1 here).
+    /// number of simulations performed (always 1 here). Phase attribution:
+    /// the depth-proportional tree-op share → `select`, the fixed share →
+    /// `expand`, the playout → `kernel` (the CPU *is* the simulator here).
     pub(crate) fn one_iteration(
         &mut self,
         tree: &mut SearchTree<G>,
         tracker: &mut BudgetTracker,
+        phases: &mut PhaseBreakdown,
     ) -> u64 {
         let cost = &self.config.cpu_cost;
         let selected = tree.select(self.config.exploration_c);
         let node = if !tree.node(selected).fully_expanded() {
+            phases.expansions += 1;
             tree.expand(selected, &mut self.rng)
         } else {
             selected // terminal leaf: re-sample its outcome
@@ -105,6 +113,10 @@ impl<G: Game> SequentialSearcher<G> {
         let result = random_playout(tree.node(node).state, &mut self.rng);
         let wins_p1 = result.reward_for(Player::P1);
         tree.backprop(node, wins_p1, 1);
+        phases.select += cost.select_cost(depth);
+        phases.expand += cost.expand_cost();
+        phases.kernel += cost.playout(result.plies);
+        phases.simulations += 1;
         tracker.charge(cost.tree_op(depth) + cost.playout(result.plies));
         1
     }

@@ -319,13 +319,15 @@ pub fn best_from_stats<M: Copy>(stats: &[RootStat<M>], rule: FinalMoveRule) -> O
         FinalMoveRule::MaxChild => stats
             .iter()
             .max_by(|a, b| {
+                // Unvisited moves score ½, matching `Node::mean`: an
+                // unsampled move is unknown, not lost.
                 let ma = if a.visits == 0 {
-                    0.0
+                    0.5
                 } else {
                     a.wins / a.visits as f64
                 };
                 let mb = if b.visits == 0 {
-                    0.0
+                    0.5
                 } else {
                     b.wins / b.visits as f64
                 };
@@ -449,6 +451,28 @@ mod tests {
         ];
         assert_eq!(best_from_stats(&stats, FinalMoveRule::RobustChild), Some(0));
         assert_eq!(best_from_stats(&stats, FinalMoveRule::MaxChild), Some(1));
+    }
+
+    #[test]
+    fn max_child_scores_unvisited_moves_half_like_node_mean() {
+        // mv 0 has a measured mean of 0.3; mv 1 was never sampled. Under
+        // the old 0.0 convention MaxChild would pick mv 0; with the ½
+        // convention (matching `Node::mean`) the unknown move wins.
+        let stats = vec![
+            RootStat {
+                mv: 0u8,
+                visits: 10,
+                wins: 3.0,
+            },
+            RootStat {
+                mv: 1u8,
+                visits: 0,
+                wins: 0.0,
+            },
+        ];
+        assert_eq!(best_from_stats(&stats, FinalMoveRule::MaxChild), Some(1));
+        // RobustChild is unaffected: it still prefers the visited move.
+        assert_eq!(best_from_stats(&stats, FinalMoveRule::RobustChild), Some(0));
     }
 
     #[test]

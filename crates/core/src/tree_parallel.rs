@@ -15,6 +15,7 @@
 
 use crate::config::{MctsConfig, SearchBudget};
 use crate::searcher::{SearchReport, Searcher};
+use crate::telemetry::{critical_index, PhaseBreakdown};
 use crate::tree::SearchTree;
 use crate::ucb::ucb1;
 use parking_lot::Mutex;
@@ -54,13 +55,14 @@ impl<G: Game> TreeParallelSearcher<G> {
     }
 
     /// Selection + expansion + virtual-loss application under the lock;
-    /// returns the node to simulate and its path to the root.
+    /// returns the node to simulate, its path to the root, and whether a
+    /// new node was expanded.
     fn select_and_mark<R: Rng64>(
         tree: &mut SearchTree<G>,
         c: f64,
         vl: u64,
         rng: &mut R,
-    ) -> (u32, Vec<u32>) {
+    ) -> (u32, Vec<u32>, bool) {
         // Selection (same rule as SearchTree::select, inlined because we
         // collect the path for the virtual loss).
         let mut id = tree.root();
@@ -84,16 +86,18 @@ impl<G: Game> TreeParallelSearcher<G> {
             id = best;
             path.push(id);
         }
+        let mut expanded = false;
         if !tree.node(id).fully_expanded() {
             id = tree.expand(id, rng);
             path.push(id);
+            expanded = true;
         }
         // Virtual loss: pretend `vl` lost simulations along the path.
         for &n in &path {
             let node = tree.node_mut(n);
             node.visits += vl;
         }
-        (id, path)
+        (id, path, expanded)
     }
 
     /// Removes the virtual loss and applies the real result.
@@ -116,7 +120,7 @@ impl<G: Game> Searcher<G> for TreeParallelSearcher<G> {
         let gen = self.generation;
 
         let terminal = tree.lock().node(0).is_terminal();
-        let mut worker_elapsed: Vec<SimTime> = Vec::new();
+        let mut worker_results: Vec<(SimTime, PhaseBreakdown)> = Vec::new();
         if !terminal {
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = (0..self.threads)
@@ -130,6 +134,7 @@ impl<G: Game> Searcher<G> for TreeParallelSearcher<G> {
                             );
                             let cpu = config.cpu_cost;
                             let mut elapsed = SimTime::ZERO;
+                            let mut mine = PhaseBreakdown::new();
                             loop {
                                 match budget {
                                     SearchBudget::Iterations(n) => {
@@ -147,7 +152,7 @@ impl<G: Game> Searcher<G> for TreeParallelSearcher<G> {
                                         iterations.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
-                                let (node, path) = {
+                                let (node, path, expanded) = {
                                     let mut t = tree.lock();
                                     Self::select_and_mark(
                                         &mut t,
@@ -167,16 +172,34 @@ impl<G: Game> Searcher<G> for TreeParallelSearcher<G> {
                                     Self::unmark_and_backprop(&mut t, &path, vl, wins_p1);
                                 }
                                 elapsed += cpu.tree_op(depth) + cpu.playout(result.plies);
+                                mine.select += cpu.select_cost(depth);
+                                mine.expand += cpu.expand_cost();
+                                mine.kernel += cpu.playout(result.plies);
+                                mine.simulations += 1;
+                                mine.expansions += u64::from(expanded);
                             }
-                            elapsed
+                            (elapsed, mine)
                         })
                     })
                     .collect();
                 for h in handles {
-                    worker_elapsed.push(h.join().expect("tree-parallel worker panicked"));
+                    worker_results.push(h.join().expect("tree-parallel worker panicked"));
                 }
             })
             .expect("tree-parallel scope failed");
+        }
+
+        // Workers run concurrently: elapsed = the slowest worker, phase
+        // times = that worker's (still summing to elapsed); counters are
+        // summed over all workers. Like everything else in this searcher
+        // the breakdown depends on scheduler interleaving.
+        let mut phases = PhaseBreakdown::new();
+        for (_, w) in &worker_results {
+            phases.absorb_counters(w);
+        }
+        let crit = critical_index(worker_results.iter().map(|(e, _)| *e));
+        if let Some(i) = crit {
+            phases.adopt_times(&worker_results[i].1);
         }
 
         let tree = tree.into_inner();
@@ -187,8 +210,9 @@ impl<G: Game> Searcher<G> for TreeParallelSearcher<G> {
             iterations,
             tree_nodes: tree.len() as u64,
             max_depth: tree.max_depth(),
-            elapsed: worker_elapsed.into_iter().max().unwrap_or(SimTime::ZERO),
+            elapsed: crit.map(|i| worker_results[i].0).unwrap_or(SimTime::ZERO),
             root_stats: tree.root_stats(),
+            phases,
         }
     }
 

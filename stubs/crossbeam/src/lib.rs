@@ -1,0 +1,128 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real crate
+//! cannot be vendored. This stub reimplements exactly the API surface the
+//! workspace touches on top of `std`:
+//!
+//! * [`thread::scope`] / [`thread::Scope::spawn`] — scoped threads, built on
+//!   `std::thread::scope` (stable since Rust 1.63). Matching crossbeam, the
+//!   spawn closure receives a `&Scope` so threads can spawn siblings, and
+//!   `scope` returns a `Result` (always `Ok` here: a panicking child that was
+//!   joined by the caller surfaces through its `join` result, exactly like
+//!   crossbeam; an unjoined panicking child propagates the panic when the
+//!   scope exits, which every caller in this workspace treats as fatal
+//!   anyway).
+//! * [`channel::unbounded`] with cloneable [`channel::Sender`] — built on
+//!   `std::sync::mpsc`, whose `Sender` is `Clone + Send + Sync` and whose
+//!   disconnect semantics (send/recv erroring once the other side is gone)
+//!   match crossbeam's for the single-consumer pattern used here.
+
+pub mod thread {
+    //! Scoped threads (crossbeam-utils `thread` module subset).
+
+    use std::any::Any;
+
+    /// A scope for spawning threads that may borrow from the caller's stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope again so
+        /// it can spawn further threads (crossbeam signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which borrowed-stack threads can be spawned; all
+    /// threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! Multi-producer channels (crossbeam-channel subset).
+
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel. Cloneable.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver has hung up.
+    /// Carries the unsent message back, like crossbeam's.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders have hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; fails once the channel is empty and
+        /// every sender was dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
