@@ -4,7 +4,9 @@
 //! counts for the CPU schemes) on the same mid-game position and emits one
 //! JSON record per run carrying the exact six-phase time ledger, the work
 //! counters, and the folded device statistics — the machine-readable
-//! counterpart of the paper's Fig. 5 host-vs-kernel decomposition.
+//! counterpart of the paper's Fig. 5 host-vs-kernel decomposition. Each
+//! record also carries the real engine cost of producing it (`wall_ns`,
+//! `playouts_per_sec`); virtual results never depend on it.
 //!
 //! Run: `cargo run --release -p pmcts-bench --bin profile -- [--full]`
 //! (`--out DIR` also writes `DIR/profile.json`).
@@ -41,33 +43,63 @@ fn main() {
     let net = NetworkModel::infiniband();
     let mut records: Vec<JsonObject> = Vec::new();
 
-    // Verify the ledger's central invariant on every record we emit.
-    let checked = |scheme: &str, r: &SearchReport<<Reversi as Game>::Move>| {
+    // Verify the ledger's central invariant on every record we emit, and
+    // pair the virtual-time ledger with the real (wall-clock) cost of
+    // producing it — the engine-speed side of DESIGN.md §7.
+    let run = |scheme: &str, searcher: &mut dyn Searcher<Reversi>| {
+        let start = std::time::Instant::now();
+        let r = searcher.search(position, budget);
+        let wall_ns = start.elapsed().as_nanos() as u64;
         assert_eq!(
             r.phases.phase_sum(),
             r.elapsed,
             "{scheme}: phase sum must equal elapsed exactly"
         );
-        phase_record(scheme, r)
+        let wall_secs = wall_ns as f64 / 1e9;
+        phase_record(scheme, &r)
+            .u64_field("wall_ns", wall_ns)
+            .f64_field(
+                "playouts_per_sec",
+                if wall_ns == 0 {
+                    0.0
+                } else {
+                    r.simulations as f64 / wall_secs
+                },
+            )
     };
 
     // Host-only baselines (geometry-independent).
-    let r = SequentialSearcher::<Reversi>::new(cfg()).search(position, budget);
-    records.push(checked("sequential", &r));
-    let r = PersistentSearcher::<Reversi>::new(cfg()).search(position, budget);
-    records.push(checked("persistent", &r));
+    records.push(run(
+        "sequential",
+        &mut SequentialSearcher::<Reversi>::new(cfg()),
+    ));
+    records.push(run(
+        "persistent",
+        &mut PersistentSearcher::<Reversi>::new(cfg()),
+    ));
 
     for threads in cpu_threads(args.full) {
-        let r = RootParallelSearcher::<Reversi>::new(cfg(), threads).search(position, budget);
-        records.push(checked("root_parallel", &r).u64_field("threads", threads as u64));
-        let r = TreeParallelSearcher::<Reversi>::new(cfg(), threads).search(position, budget);
-        records.push(checked("tree_parallel", &r).u64_field("threads", threads as u64));
-        let r =
-            MultiNodeCpuSearcher::<Reversi>::new(cfg(), 2, threads, net).search(position, budget);
         records.push(
-            checked("multi_node_cpu", &r)
-                .u64_field("ranks", 2)
-                .u64_field("threads", threads as u64),
+            run(
+                "root_parallel",
+                &mut RootParallelSearcher::<Reversi>::new(cfg(), threads),
+            )
+            .u64_field("threads", threads as u64),
+        );
+        records.push(
+            run(
+                "tree_parallel",
+                &mut TreeParallelSearcher::<Reversi>::new(cfg(), threads),
+            )
+            .u64_field("threads", threads as u64),
+        );
+        records.push(
+            run(
+                "multi_node_cpu",
+                &mut MultiNodeCpuSearcher::<Reversi>::new(cfg(), 2, threads, net),
+            )
+            .u64_field("ranks", 2)
+            .u64_field("threads", threads as u64),
         );
     }
 
@@ -77,18 +109,26 @@ fn main() {
             o.u64_field("blocks", blocks as u64)
                 .u64_field("threads_per_block", tpb as u64)
         };
-        let r = LeafParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch)
-            .search(position, budget);
-        records.push(geom(checked("leaf_parallel", &r)));
-        let r = BlockParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch)
-            .search(position, budget);
-        records.push(geom(checked("block_parallel", &r)));
-        let r =
-            HybridSearcher::<Reversi>::new(cfg(), device.clone(), launch).search(position, budget);
-        records.push(geom(checked("hybrid", &r)));
-        let r = MultiGpuSearcher::<Reversi>::new(cfg(), 2, DeviceSpec::tesla_c2050(), launch, net)
-            .search(position, budget);
-        records.push(geom(checked("multi_gpu", &r)).u64_field("ranks", 2));
+        let r = run(
+            "leaf_parallel",
+            &mut LeafParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch),
+        );
+        records.push(geom(r));
+        let r = run(
+            "block_parallel",
+            &mut BlockParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch),
+        );
+        records.push(geom(r));
+        let r = run(
+            "hybrid",
+            &mut HybridSearcher::<Reversi>::new(cfg(), device.clone(), launch),
+        );
+        records.push(geom(r));
+        let r = run(
+            "multi_gpu",
+            &mut MultiGpuSearcher::<Reversi>::new(cfg(), 2, DeviceSpec::tesla_c2050(), launch, net),
+        );
+        records.push(geom(r).u64_field("ranks", 2));
     }
 
     eprintln!("{} records, {iters} iterations each", records.len());

@@ -1,0 +1,220 @@
+//! Wall-clock throughput of the real execution engine.
+//!
+//! Everything the other binaries report is *virtual* time from the cost
+//! models; this binary is the exception that measures how fast the host
+//! actually grinds through the work (DESIGN.md §7). Three layers:
+//!
+//! 1. **Raw playouts** — allocation-free `random_playout` on one core.
+//! 2. **Kernel simulation** — the same launch executed by the retained
+//!    per-step lockstep interpreter (`execute_kernel_lockstep`, the
+//!    pre-optimisation engine and correctness oracle) and by the
+//!    run-to-completion engine (1-thread pool and default pool). The
+//!    summary record's `kernel_speedup_vs_lockstep` is the acceptance
+//!    number for the engine rewrite.
+//! 3. **Full searches** — wall-clock iterations/s and playouts/s for the
+//!    main schemes on fixed seeds.
+//!
+//! Outputs and `KernelStats` of the two engines are asserted equal before
+//! timing, so the speedup is measured on provably identical work.
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin throughput -- [--full]`
+//! (`--out DIR` also writes `DIR/BENCH_throughput.json`).
+
+use pmcts_bench::{midgame_position, write_json, BenchArgs, JsonObject};
+use pmcts_core::gpu::PlayoutKernel;
+use pmcts_core::prelude::*;
+use pmcts_gpu_sim::executor::{execute_kernel, execute_kernel_lockstep};
+use pmcts_gpu_sim::WorkerPool;
+use pmcts_util::Xoshiro256pp;
+use std::time::Instant;
+
+fn secs(wall_ns: u64) -> f64 {
+    wall_ns as f64 / 1e9
+}
+
+fn rate(count: u64, wall_ns: u64) -> f64 {
+    if wall_ns == 0 {
+        0.0
+    } else {
+        count as f64 / secs(wall_ns)
+    }
+}
+
+/// Raw single-core playout throughput on a mid-game position.
+fn bench_cpu_playouts(position: Reversi, playouts: u64, seed: u64) -> JsonObject {
+    let mut rng = Xoshiro256pp::derive(seed, 0xBEEF);
+    let mut plies = 0u64;
+    let mut wins = 0u64; // fold the outcome so the loop cannot be optimised out
+    let start = Instant::now();
+    for _ in 0..playouts {
+        let r = pmcts_games::random_playout(position, &mut rng);
+        plies += u64::from(r.plies);
+        if matches!(r.outcome, Outcome::Win(Player::P1)) {
+            wins += 1;
+        }
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    assert!(wins > 0 && wins < playouts, "degenerate playout sample");
+    JsonObject::new()
+        .str_field("record", "cpu_playouts")
+        .u64_field("playouts", playouts)
+        .u64_field("plies", plies)
+        .u64_field("wall_ns", wall_ns)
+        .f64_field("playouts_per_sec", rate(playouts, wall_ns))
+        .f64_field("plies_per_sec", rate(plies, wall_ns))
+}
+
+/// One engine's wall-clock over `reps` launches of per-rep kernels.
+/// Returns the record plus (lane_steps_per_sec, wall_ns) for the summary.
+fn bench_engine<F>(
+    name: &str,
+    kernels: &[PlayoutKernel<Reversi>],
+    launch: LaunchConfig,
+    mut run: F,
+) -> (JsonObject, f64)
+where
+    F: FnMut(&PlayoutKernel<Reversi>) -> pmcts_gpu_sim::LaunchResult<pmcts_core::gpu::LaneOutcome>,
+{
+    // Warm up (page in code + pool threads), then time.
+    let warm = run(&kernels[0]);
+    let mut lane_steps = 0u64;
+    let mut playouts = 0u64;
+    let start = Instant::now();
+    for k in kernels {
+        let r = run(k);
+        lane_steps += r.stats.lane_steps;
+        playouts += u64::from(r.stats.threads);
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let steps_per_sec = rate(lane_steps, wall_ns);
+    let record = JsonObject::new()
+        .str_field("record", "kernel_engine")
+        .str_field("engine", name)
+        .u64_field("blocks", u64::from(launch.blocks))
+        .u64_field("threads_per_block", u64::from(launch.threads_per_block))
+        .u64_field("launches", kernels.len() as u64)
+        .u64_field("lane_steps", lane_steps)
+        .u64_field("playouts", playouts)
+        .u64_field("wall_ns", wall_ns)
+        .f64_field("lane_steps_per_sec", steps_per_sec)
+        .f64_field("playouts_per_sec", rate(playouts, wall_ns))
+        .f64_field("lane_efficiency", warm.stats.lane_efficiency());
+    (record, steps_per_sec)
+}
+
+/// Wall-clock of one full search, as iterations/s and playouts/s.
+fn bench_search(
+    scheme: &str,
+    budget: SearchBudget,
+    searcher: &mut dyn Searcher<Reversi>,
+    position: Reversi,
+) -> JsonObject {
+    let start = Instant::now();
+    let report = searcher.search(position, budget);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    JsonObject::new()
+        .str_field("record", "search")
+        .str_field("scheme", scheme)
+        .u64_field("iterations", report.iterations)
+        .u64_field("simulations", report.simulations)
+        .u64_field("wall_ns", wall_ns)
+        .f64_field("iterations_per_sec", rate(report.iterations, wall_ns))
+        .f64_field("playouts_per_sec", rate(report.simulations, wall_ns))
+        .f64_field("virtual_sims_per_sec", report.sims_per_second())
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let position = midgame_position(args.seed, 20);
+    let spec = DeviceSpec::tesla_c2050();
+
+    let (launch, reps, cpu_playouts, search_iters) = if args.full {
+        (LaunchConfig::new(112, 128), 24usize, 200_000u64, 64u64)
+    } else {
+        (LaunchConfig::new(14, 64), 10, 30_000, 16)
+    };
+    // Fresh stream seed per rep: repetitions do distinct (but seed-fixed)
+    // work, like consecutive launches of a real search.
+    let kernels: Vec<PlayoutKernel<Reversi>> = (0..reps)
+        .map(|rep| PlayoutKernel::new(vec![position], args.seed.wrapping_add(rep as u64)))
+        .collect();
+
+    // The engines must agree bit-for-bit before their speeds are compared.
+    let pool1 = WorkerPool::new(1);
+    let pool = WorkerPool::with_available_parallelism();
+    let fast = execute_kernel(&kernels[0], &launch, &spec, &pool1);
+    let oracle = execute_kernel_lockstep(&kernels[0], &launch, &spec);
+    assert_eq!(fast.outputs, oracle.outputs, "engine outputs diverged");
+    assert_eq!(fast.stats, oracle.stats, "engine stats diverged");
+
+    let mut records: Vec<JsonObject> = Vec::new();
+    records.push(bench_cpu_playouts(position, cpu_playouts, args.seed));
+
+    let (rec, legacy_rate) = bench_engine("legacy_lockstep", &kernels, launch, |k| {
+        execute_kernel_lockstep(k, &launch, &spec)
+    });
+    records.push(rec);
+    let (rec, rtc_1t_rate) = bench_engine("rtc_1_thread", &kernels, launch, |k| {
+        execute_kernel(k, &launch, &spec, &pool1)
+    });
+    records.push(rec);
+    let (rec, rtc_pool_rate) = bench_engine("rtc_pool", &kernels, launch, |k| {
+        execute_kernel(k, &launch, &spec, &pool)
+    });
+    records.push(rec);
+
+    let cfg = || MctsConfig::default().with_seed(args.seed);
+    let device = Device::new(spec.clone());
+    let budget = SearchBudget::Iterations(search_iters);
+    records.push(bench_search(
+        "sequential",
+        SearchBudget::Iterations(search_iters * 100),
+        &mut SequentialSearcher::<Reversi>::new(cfg()),
+        position,
+    ));
+    records.push(bench_search(
+        "root_parallel",
+        SearchBudget::Iterations(search_iters * 8),
+        &mut RootParallelSearcher::<Reversi>::new(cfg(), 8),
+        position,
+    ));
+    records.push(bench_search(
+        "leaf_parallel",
+        budget,
+        &mut LeafParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch),
+        position,
+    ));
+    records.push(bench_search(
+        "block_parallel",
+        budget,
+        &mut BlockParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch),
+        position,
+    ));
+    records.push(bench_search(
+        "hybrid",
+        budget,
+        &mut HybridSearcher::<Reversi>::new(cfg(), device, launch),
+        position,
+    ));
+
+    let speedup_pool = rtc_pool_rate / legacy_rate;
+    let speedup_1t = rtc_1t_rate / legacy_rate;
+    records.push(
+        JsonObject::new()
+            .str_field("record", "summary")
+            .str_field("baseline", "legacy_lockstep")
+            .u64_field("host_threads", pool.size() as u64)
+            .f64_field("legacy_lane_steps_per_sec", legacy_rate)
+            .f64_field("rtc_1_thread_lane_steps_per_sec", rtc_1t_rate)
+            .f64_field("rtc_pool_lane_steps_per_sec", rtc_pool_rate)
+            .f64_field("kernel_speedup_vs_lockstep", speedup_pool)
+            .f64_field("kernel_speedup_vs_lockstep_1_thread", speedup_1t),
+    );
+
+    eprintln!(
+        "engine speedup vs lockstep oracle: {speedup_1t:.2}x (1 thread), \
+         {speedup_pool:.2}x ({} threads)",
+        pool.size()
+    );
+    write_json("BENCH_throughput", &records, &args);
+}

@@ -11,7 +11,7 @@
 //! ("the results are written to an array in the GPU's memory (0 = loss,
 //! 1 = victory)") generalised to carry draws.
 
-use pmcts_games::{Game, Outcome, Player};
+use pmcts_games::{random_playout, Game, Outcome, Player};
 use pmcts_gpu_sim::{Kernel, ThreadId};
 use pmcts_util::Xoshiro256pp;
 
@@ -117,6 +117,22 @@ impl<G: Game> Kernel for PlayoutKernel<G> {
 
     fn output_bytes(&self) -> u64 {
         1
+    }
+
+    /// Fused lane: one allocation-free [`random_playout`] instead of the
+    /// `init`/`step` state machine, drawing the identical RNG sequence.
+    ///
+    /// Step equivalence (checked against the lockstep oracle by the
+    /// equivalence suite): each `step` call applies exactly one ply and the
+    /// call that applies the final ply reports completion, so a playout of
+    /// `p ≥ 1` plies takes `p` steps; a terminal root takes the single
+    /// entry-check step.
+    fn run_lane(&self, tid: ThreadId) -> (LaneOutcome, u64) {
+        let root = self.roots[tid.block as usize % self.roots.len()];
+        let mut rng = Xoshiro256pp::derive(self.stream_seed, tid.global as u64);
+        let result = random_playout(root, &mut rng);
+        let steps = (result.plies as u64).max(1);
+        (LaneOutcome::from_outcome(result.outcome), steps)
     }
 }
 

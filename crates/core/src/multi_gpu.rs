@@ -14,9 +14,10 @@ use crate::searcher::{SearchReport, Searcher};
 use crate::telemetry::{critical_index, PhaseBreakdown};
 use crate::tree::{best_from_stats, merge_root_stats, RootStat};
 use pmcts_games::Game;
-use pmcts_gpu_sim::{Device, DeviceSpec, LaunchConfig};
+use pmcts_gpu_sim::{Device, DeviceSpec, LaunchConfig, WorkerPool};
 use pmcts_mpi_sim::{NetworkModel, World};
 use pmcts_util::SimTime;
+use std::sync::Arc;
 
 /// Root-parallel search over `ranks` simulated GPUs connected by MPI.
 #[derive(Clone, Debug)]
@@ -26,6 +27,10 @@ pub struct MultiGpuSearcher<G: Game> {
     device_spec: DeviceSpec,
     launch: LaunchConfig,
     network: NetworkModel,
+    /// One persistent pool shared by every rank's device: the host's cores
+    /// are a single resource, and sharing avoids spawning `ranks` pools per
+    /// search. Results are unaffected (block-order folding per launch).
+    pool: Arc<WorkerPool>,
     generation: u64,
     _game: std::marker::PhantomData<fn() -> G>,
 }
@@ -47,9 +52,17 @@ impl<G: Game> MultiGpuSearcher<G> {
             device_spec,
             launch,
             network,
+            pool: Arc::new(WorkerPool::with_available_parallelism()),
             generation: 0,
             _game: std::marker::PhantomData,
         }
+    }
+
+    /// Shares an existing worker pool across the ranks' devices instead of
+    /// owning one. Virtual timing and results are unaffected.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Number of MPI ranks (= GPUs).
@@ -66,16 +79,13 @@ impl<G: Game> Searcher<G> for MultiGpuSearcher<G> {
         let spec = self.device_spec.clone();
         let launch = self.launch;
         let ranks = self.ranks;
-        // Split the real host cores between the ranks' devices.
-        let host_per_rank = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .div_ceil(ranks)
-            .max(1);
+        // All ranks' devices execute on one shared persistent pool — the
+        // host's cores are a single resource however many GPUs we simulate.
+        let pool = Arc::clone(&self.pool);
 
         type RankResult<M> = (SearchReport<M>, Vec<RootStat<M>>);
         let per_rank: Vec<RankResult<G::Move>> = World::run(ranks, self.network, |comm| {
-            let device = Device::new(spec.clone()).with_host_threads(host_per_rank);
+            let device = Device::new_with_pool(spec.clone(), Arc::clone(&pool));
             let stream = gen * ranks as u64 + comm.rank() as u64;
             let mut searcher =
                 BlockParallelSearcher::<G>::with_stream(config.clone(), device, launch, stream);

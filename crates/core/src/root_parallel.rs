@@ -16,6 +16,8 @@ use crate::sequential::SequentialSearcher;
 use crate::telemetry::{critical_index, PhaseBreakdown};
 use crate::tree::{best_from_stats, merge_root_stats};
 use pmcts_games::Game;
+use pmcts_gpu_sim::WorkerPool;
+use std::sync::{Arc, Mutex};
 
 /// Root-parallel CPU searcher: `n` independent trees, one per simulated
 /// CPU thread.
@@ -28,7 +30,10 @@ use pmcts_games::Game;
 pub struct RootParallelSearcher<G: Game> {
     config: MctsConfig,
     threads: usize,
-    workers: usize,
+    /// Persistent host workers the trees are distributed over — owned by
+    /// default, or shared (e.g. with a simulated device) via
+    /// [`with_pool`](Self::with_pool).
+    pool: Arc<WorkerPool>,
     /// Base stream offset so distinct searchers draw disjoint randomness.
     stream_base: u64,
     /// Bumped every search so consecutive moves explore differently.
@@ -53,17 +58,24 @@ impl<G: Game> RootParallelSearcher<G> {
         RootParallelSearcher {
             config,
             threads,
-            workers,
+            pool: Arc::new(WorkerPool::new(workers)),
             stream_base,
             generation: 0,
             _game: std::marker::PhantomData,
         }
     }
 
-    /// Overrides the number of real host worker threads (virtual timing is
-    /// unaffected). `0` is treated as 1.
+    /// Overrides the number of real host worker threads by rebuilding the
+    /// owned pool (virtual timing is unaffected). `0` is treated as 1.
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1).min(self.threads);
+        self.pool = Arc::new(WorkerPool::new(workers.max(1).min(self.threads)));
+        self
+    }
+
+    /// Shares an existing worker pool (e.g. a simulated device's) instead
+    /// of owning one. Virtual timing and results are unaffected.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -82,40 +94,34 @@ impl<G: Game> Searcher<G> for RootParallelSearcher<G> {
         let trees = self.threads;
 
         // Each tree is an independent sequential search with its own RNG
-        // stream; trees are distributed over real host workers and merged
-        // at the end (no communication — exactly the paper's scheme).
+        // stream; trees are distributed over the persistent worker pool and
+        // merged at the end (no communication — exactly the paper's
+        // scheme). Results are keyed by tree index, so merge order — and
+        // hence the report — is identical for any pool size.
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut reports: Vec<Option<SearchReport<G::Move>>> = (0..trees).map(|_| None).collect();
-        let mut per_worker: Vec<Vec<(usize, SearchReport<G::Move>)>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.workers)
-                .map(|_| {
-                    let config = config.clone();
-                    let next = &next;
-                    scope.spawn(move |_| {
-                        let mut mine = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= trees {
-                                break;
-                            }
-                            let stream = base
-                                .wrapping_add(i as u64)
-                                .wrapping_add(gen.wrapping_mul(0x1000 * 31));
-                            let mut s =
-                                SequentialSearcher::<G>::with_stream(config.clone(), stream);
-                            mine.push((i, s.search(root, budget)));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            for h in handles {
-                per_worker.push(h.join().expect("root-parallel worker panicked"));
+        let collected: Mutex<Vec<(usize, SearchReport<G::Move>)>> =
+            Mutex::new(Vec::with_capacity(trees));
+        let participants = self.pool.size().min(trees);
+        self.pool.run_scoped(participants, |_| {
+            let mut mine = Vec::new();
+            loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= trees {
+                    break;
+                }
+                let stream = base
+                    .wrapping_add(i as u64)
+                    .wrapping_add(gen.wrapping_mul(0x1000 * 31));
+                let mut s = SequentialSearcher::<G>::with_stream(config.clone(), stream);
+                mine.push((i, s.search(root, budget)));
             }
-        })
-        .expect("root-parallel scope failed");
-        for (i, report) in per_worker.into_iter().flatten() {
+            collected
+                .lock()
+                .expect("tree collector poisoned")
+                .extend(mine);
+        });
+        let mut reports: Vec<Option<SearchReport<G::Move>>> = (0..trees).map(|_| None).collect();
+        for (i, report) in collected.into_inner().expect("tree collector poisoned") {
             reports[i] = Some(report);
         }
         let reports: Vec<SearchReport<G::Move>> = reports

@@ -8,7 +8,10 @@ use pmcts_util::SimTime;
 
 /// What a search produced, plus the metrics every figure experiment needs
 /// (simulations/second for Fig. 5, tree depth for Fig. 8, ...).
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field — the determinism suite uses it to
+/// assert reports are bit-identical across host-thread counts.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SearchReport<M> {
     /// The chosen move (`None` only for terminal root positions or an empty
     /// budget).

@@ -1,0 +1,194 @@
+//! Cross-engine and cross-host-thread determinism.
+//!
+//! Two independent guarantees (CLAUDE.md invariants):
+//!
+//! 1. The playout kernel's fused [`run_lane`](pmcts_gpu_sim::Kernel) path
+//!    (what the run-to-completion engine executes) is bit-identical —
+//!    outputs *and* full `KernelStats` — to the per-step masked lockstep
+//!    interpreter retained as the oracle.
+//! 2. Every searcher's `SearchReport` is bit-identical regardless of how
+//!    many real host worker threads execute it. Only
+//!    `TreeParallelSearcher` is exempt, by design.
+
+use pmcts_core::gpu::PlayoutKernel;
+use pmcts_core::prelude::*;
+use pmcts_gpu_sim::executor::execute_kernel_lockstep;
+use pmcts_gpu_sim::WorkerPool;
+use pmcts_mpi_sim::NetworkModel;
+use std::sync::Arc;
+
+const HOST_THREADS: [usize; 3] = [1, 2, 8];
+
+fn cfg(seed: u64) -> MctsConfig {
+    MctsConfig::default().with_seed(seed)
+}
+
+// ---- 1. PlayoutKernel: fused run_lane vs lockstep oracle ----------------
+
+/// Launches `kernel` through the fast engine (via `Device`) and through
+/// the lockstep oracle and asserts byte-identical results.
+fn assert_kernel_matches_oracle<G: Game>(kernel: PlayoutKernel<G>, launch: LaunchConfig) {
+    let spec = DeviceSpec::tesla_c2050();
+    let fast = Device::new(spec.clone())
+        .with_host_threads(3)
+        .launch(&kernel, launch);
+    let oracle = execute_kernel_lockstep(&kernel, &launch, &spec);
+    assert_eq!(fast.outputs, oracle.outputs, "lane outcomes diverged");
+    assert_eq!(fast.stats, oracle.stats, "divergence accounting diverged");
+}
+
+#[test]
+fn playout_kernel_matches_oracle_on_reversi() {
+    for seed in [1u64, 2, 99] {
+        assert_kernel_matches_oracle(
+            PlayoutKernel::new(vec![Reversi::initial()], seed),
+            LaunchConfig::new(4, 48),
+        );
+    }
+}
+
+#[test]
+fn playout_kernel_matches_oracle_on_tictactoe() {
+    // Short games with draws: exercises the terminal-root step accounting
+    // and the Draw lane outcome.
+    assert_kernel_matches_oracle(
+        PlayoutKernel::new(vec![TicTacToe::initial()], 7),
+        LaunchConfig::new(3, 33), // partial warp
+    );
+}
+
+#[test]
+fn playout_kernel_matches_oracle_on_terminal_root() {
+    // A root with no legal move finishes in the single entry-check step.
+    let won = TicTacToe::parse("XXX OO. ...", Player::P2).expect("valid terminal diagram");
+    assert_kernel_matches_oracle(PlayoutKernel::new(vec![won], 3), LaunchConfig::new(1, 32));
+}
+
+#[test]
+fn playout_kernel_matches_oracle_per_block_roots() {
+    assert_kernel_matches_oracle(
+        PlayoutKernel::new(vec![Reversi::initial(), Reversi::initial()], 11),
+        LaunchConfig::new(4, 32),
+    );
+}
+
+// ---- 2. SearchReports identical across host-thread counts ---------------
+
+/// Runs `build(host_threads)` over [`HOST_THREADS`] and asserts every
+/// produced report equals the first.
+fn assert_reports_identical<F>(what: &str, budget: SearchBudget, mut build: F)
+where
+    F: FnMut(usize) -> Box<dyn Searcher<Reversi>>,
+{
+    let mut baseline = None;
+    for threads in HOST_THREADS {
+        let report = build(threads).search(Reversi::initial(), budget);
+        match &baseline {
+            None => baseline = Some(report),
+            Some(expect) => {
+                assert_eq!(
+                    expect, &report,
+                    "{what}: report changed at {threads} host threads"
+                );
+            }
+        }
+    }
+}
+
+fn device(threads: usize) -> Device {
+    Device::new(DeviceSpec::tesla_c2050()).with_host_threads(threads)
+}
+
+#[test]
+fn leaf_parallel_identical_across_host_threads() {
+    assert_reports_identical("leaf", SearchBudget::Iterations(6), |t| {
+        Box::new(LeafParallelSearcher::new(
+            cfg(21),
+            device(t),
+            LaunchConfig::new(2, 32),
+        ))
+    });
+}
+
+#[test]
+fn block_parallel_identical_across_host_threads() {
+    assert_reports_identical("block", SearchBudget::Iterations(5), |t| {
+        Box::new(BlockParallelSearcher::new(
+            cfg(22),
+            device(t),
+            LaunchConfig::new(4, 32),
+        ))
+    });
+}
+
+#[test]
+fn hybrid_identical_across_host_threads() {
+    assert_reports_identical("hybrid", SearchBudget::Iterations(5), |t| {
+        Box::new(HybridSearcher::new(
+            cfg(23),
+            device(t),
+            LaunchConfig::new(2, 32),
+        ))
+    });
+}
+
+#[test]
+fn root_parallel_identical_across_host_threads() {
+    assert_reports_identical("root", SearchBudget::Iterations(30), |t| {
+        Box::new(RootParallelSearcher::new(cfg(24), 8).with_workers(t))
+    });
+}
+
+#[test]
+fn root_parallel_identical_on_shared_pool() {
+    // Sharing a device's pool (instead of owning one) must not change
+    // results either.
+    let owned = RootParallelSearcher::<Reversi>::new(cfg(25), 6)
+        .with_workers(1)
+        .search(Reversi::initial(), SearchBudget::Iterations(20));
+    let pool = Arc::new(WorkerPool::new(4));
+    let shared = RootParallelSearcher::<Reversi>::new(cfg(25), 6)
+        .with_pool(pool)
+        .search(Reversi::initial(), SearchBudget::Iterations(20));
+    assert_eq!(owned, shared);
+}
+
+#[test]
+fn multi_gpu_identical_across_host_threads() {
+    assert_reports_identical("multi-gpu", SearchBudget::Iterations(3), |t| {
+        Box::new(
+            MultiGpuSearcher::new(
+                cfg(26),
+                3,
+                DeviceSpec::tesla_c2050(),
+                LaunchConfig::new(2, 32),
+                NetworkModel::infiniband(),
+            )
+            .with_pool(Arc::new(WorkerPool::new(t))),
+        )
+    });
+}
+
+#[test]
+fn multi_node_cpu_identical_across_runs() {
+    // Worker split is internal here; determinism is run-to-run.
+    let run = || {
+        MultiNodeCpuSearcher::<Reversi>::new(cfg(27), 2, 4, NetworkModel::infiniband())
+            .search(Reversi::initial(), SearchBudget::Iterations(15))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn sequential_and_persistent_identical_across_runs() {
+    let seq = || {
+        SequentialSearcher::<Reversi>::new(cfg(28))
+            .search(Reversi::initial(), SearchBudget::Iterations(60))
+    };
+    assert_eq!(seq(), seq());
+    let per = || {
+        PersistentSearcher::<Reversi>::new(cfg(29))
+            .search(Reversi::initial(), SearchBudget::Iterations(60))
+    };
+    assert_eq!(per(), per());
+}

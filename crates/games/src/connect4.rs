@@ -165,7 +165,7 @@ impl Game for Connect4 {
     }
 
     #[inline]
-    fn random_move<R: Rng64>(&self, rng: &mut R) -> Option<u8> {
+    fn random_move_with<R: Rng64>(&self, rng: &mut R, buf: &mut MoveBuf<u8>) -> Option<u8> {
         if self.is_terminal() {
             return None;
         }
@@ -177,8 +177,7 @@ impl Game for Connect4 {
                 return Some(col);
             }
         }
-        let mut buf = MoveBuf::new();
-        self.legal_moves(&mut buf);
+        self.legal_moves(buf);
         if buf.is_empty() {
             None
         } else {

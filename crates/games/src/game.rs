@@ -118,12 +118,30 @@ pub trait Game: Copy + Clone + PartialEq + Send + Sync + std::fmt::Debug + 'stat
 
     /// Picks a uniformly random legal move, or `None` on terminal states.
     ///
-    /// Engines with bitboard move generation override this with a faster
-    /// bit-selection routine; the default materialises the move list.
+    /// Allocates a fresh move buffer; hot loops (playouts) should call
+    /// [`random_move_with`](Self::random_move_with) with a reused buffer
+    /// instead. Both draw identical RNG sequences.
     #[inline]
     fn random_move<R: Rng64>(&self, rng: &mut R) -> Option<Self::Move> {
         let mut buf = MoveBuf::new();
-        self.legal_moves(&mut buf);
+        self.random_move_with(rng, &mut buf)
+    }
+
+    /// Picks a uniformly random legal move using `buf` as scratch space, or
+    /// `None` on terminal states.
+    ///
+    /// Engines with bitboard move generation override this with a faster
+    /// bit-selection routine (ignoring `buf`); the default materialises the
+    /// move list into `buf`. Overrides must consume the same RNG draws as
+    /// [`random_move`](Self::random_move) so playouts are seed-stable across
+    /// both entry points.
+    #[inline]
+    fn random_move_with<R: Rng64>(
+        &self,
+        rng: &mut R,
+        buf: &mut MoveBuf<Self::Move>,
+    ) -> Option<Self::Move> {
+        self.legal_moves(buf);
         if buf.is_empty() {
             None
         } else {

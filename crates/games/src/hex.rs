@@ -229,8 +229,9 @@ impl<const N: usize> Game for Hex<N> {
         }
     }
 
+    /// Bitboard-native uniform move choice (`_buf` is unused).
     #[inline]
-    fn random_move<R: Rng64>(&self, rng: &mut R) -> Option<u8> {
+    fn random_move_with<R: Rng64>(&self, rng: &mut R, _buf: &mut MoveBuf<u8>) -> Option<u8> {
         if self.winner.is_some() {
             return None;
         }

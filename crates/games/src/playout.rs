@@ -7,7 +7,7 @@
 //! playout in each warp — the SIMD divergence effect block-parallelism is
 //! designed around.
 
-use crate::game::{Game, Outcome, Player};
+use crate::game::{Game, MoveBuf, Outcome, Player};
 use pmcts_util::Rng64;
 
 /// The result of one random playout.
@@ -35,30 +35,32 @@ impl PlayoutResult {
 /// Panics if a game exceeds [`Game::MAX_GAME_LENGTH`] plies, which would
 /// indicate a rules bug in the engine (e.g. an infinite pass loop).
 pub fn random_playout<G: Game, R: Rng64>(mut state: G, rng: &mut R) -> PlayoutResult {
+    // One move buffer for the whole playout: [`Game::random_move_with`]
+    // reuses it every ply, so the hot loop performs no allocation (and no
+    // per-ply buffer zeroing) regardless of the engine. Termination is
+    // detected by move generation itself — `legal_moves` is non-empty iff
+    // the state is non-terminal — so no separate `outcome()` probe runs per
+    // ply. The RNG draw sequence is identical to the per-ply
+    // `outcome()`-then-`random_move` formulation this replaces.
+    let mut buf = MoveBuf::new();
     let mut plies = 0u32;
-    loop {
-        match state.outcome() {
-            Some(outcome) => {
-                return PlayoutResult {
-                    outcome,
-                    plies,
-                    final_score: state.score(),
-                };
-            }
-            None => {
-                let mv = state
-                    .random_move(rng)
-                    .expect("non-terminal state must have a move");
-                state.apply(mv);
-                plies += 1;
-                assert!(
-                    plies as usize <= G::MAX_GAME_LENGTH,
-                    "{} playout exceeded MAX_GAME_LENGTH={}",
-                    G::NAME,
-                    G::MAX_GAME_LENGTH
-                );
-            }
-        }
+    while let Some(mv) = state.random_move_with(rng, &mut buf) {
+        state.apply(mv);
+        plies += 1;
+        assert!(
+            plies as usize <= G::MAX_GAME_LENGTH,
+            "{} playout exceeded MAX_GAME_LENGTH={}",
+            G::NAME,
+            G::MAX_GAME_LENGTH
+        );
+    }
+    let outcome = state
+        .outcome()
+        .expect("state without a legal move is terminal");
+    PlayoutResult {
+        outcome,
+        plies,
+        final_score: state.score(),
     }
 }
 

@@ -104,6 +104,11 @@ pub fn legal_moves_mask(own: u64, opp: u64) -> u64 {
 /// Bitboard of opponent discs flipped by playing on square `sq`.
 ///
 /// Returns 0 if the move flips nothing (i.e. it is illegal).
+///
+/// Branch-free by design: the per-direction scan is an unrolled flood fill
+/// (like [`legal_moves_mask`]) instead of a data-dependent `while` walk —
+/// run lengths are random in playouts, so avoiding the mispredicted
+/// branches measurably speeds up the hot loop.
 #[inline]
 pub fn flips_for_move(own: u64, opp: u64, sq: u8) -> u64 {
     debug_assert!(sq < 64);
@@ -111,15 +116,18 @@ pub fn flips_for_move(own: u64, opp: u64, sq: u8) -> u64 {
     debug_assert_eq!(mv & (own | opp), 0, "square occupied");
     let mut flips = 0u64;
     for dir in DIRECTIONS {
-        let mut line = 0u64;
-        let mut cur = shift(mv, dir);
-        while cur & opp != 0 {
-            line |= cur;
-            cur = shift(cur, dir);
-        }
-        if cur & own != 0 {
-            flips |= line;
-        }
+        // Flood the contiguous opponent run starting at `mv` (5 extra steps
+        // cover the maximum run of 6 opponent discs).
+        let mut t = shift(mv, dir) & opp;
+        t |= shift(t, dir) & opp;
+        t |= shift(t, dir) & opp;
+        t |= shift(t, dir) & opp;
+        t |= shift(t, dir) & opp;
+        t |= shift(t, dir) & opp;
+        // The run flips iff the square past its far end is ours; interior
+        // run squares neighbour only opponent discs, so one test suffices.
+        let capped = (shift(t, dir) & own != 0) as u64;
+        flips |= t & capped.wrapping_neg();
     }
     flips
 }

@@ -231,9 +231,13 @@ impl Game for Reversi {
     }
 
     /// Bitboard-native uniform move choice: selects a random set bit of the
-    /// legal mask without materialising a move list.
+    /// legal mask without materialising a move list (`_buf` is unused).
     #[inline]
-    fn random_move<R: Rng64>(&self, rng: &mut R) -> Option<ReversiMove> {
+    fn random_move_with<R: Rng64>(
+        &self,
+        rng: &mut R,
+        _buf: &mut MoveBuf<ReversiMove>,
+    ) -> Option<ReversiMove> {
         let mask = self.legal_mask();
         if mask == 0 {
             let (own, opp) = self.own_opp();

@@ -11,6 +11,7 @@
 use crate::executor::execute_kernel;
 use crate::kernel::{Kernel, LaunchConfig};
 use crate::launch::{LaunchResult, PendingLaunch};
+use crate::pool::WorkerPool;
 use pmcts_util::SimTime;
 use std::sync::Arc;
 
@@ -113,25 +114,33 @@ impl DeviceSpec {
 
 /// A simulated GPU: a [`DeviceSpec`] plus launch entry points.
 ///
-/// `Device` is cheap to clone (the spec is shared) and is `Send + Sync`;
-/// the multi-GPU experiments hand one clone to each MPI rank.
+/// `Device` is cheap to clone (the spec and worker pool are shared) and is
+/// `Send + Sync`; the multi-GPU experiments hand one clone to each MPI rank.
 #[derive(Clone, Debug)]
 pub struct Device {
     spec: Arc<DeviceSpec>,
-    /// Host worker threads used to actually execute kernel lanes; defaults
-    /// to available parallelism.
-    host_threads: usize,
+    /// Persistent host workers that actually execute kernel lanes — created
+    /// once per device (defaulting to available parallelism) and reused by
+    /// every synchronous and asynchronous launch.
+    pool: Arc<WorkerPool>,
 }
 
 impl Device {
-    /// Creates a device from a spec.
+    /// Creates a device from a spec, with a worker pool sized to the
+    /// machine's available parallelism.
     pub fn new(spec: DeviceSpec) -> Self {
-        let host_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         Device {
             spec: Arc::new(spec),
-            host_threads,
+            pool: Arc::new(WorkerPool::with_available_parallelism()),
+        }
+    }
+
+    /// Creates a device that executes on an existing shared pool (no new
+    /// threads are spawned).
+    pub fn new_with_pool(spec: DeviceSpec, pool: Arc<WorkerPool>) -> Self {
+        Device {
+            spec: Arc::new(spec),
+            pool,
         }
     }
 
@@ -140,10 +149,18 @@ impl Device {
         Self::new(DeviceSpec::tesla_c2050())
     }
 
-    /// Overrides the number of host threads used to execute kernels.
+    /// Replaces the worker pool with a fresh one of `n` threads.
     /// `0` is treated as 1. Virtual timing is unaffected.
     pub fn with_host_threads(mut self, n: usize) -> Self {
-        self.host_threads = n.max(1);
+        self.pool = Arc::new(WorkerPool::new(n));
+        self
+    }
+
+    /// Shares an existing worker pool (e.g. one pool across the devices of
+    /// every simulated MPI rank, or with root parallelism). Virtual timing
+    /// is unaffected.
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -156,7 +173,13 @@ impl Device {
     /// Number of host threads used for real execution.
     #[inline]
     pub fn host_threads(&self) -> usize {
-        self.host_threads
+        self.pool.size()
+    }
+
+    /// The device's worker pool.
+    #[inline]
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Launches a kernel synchronously and blocks until completion.
@@ -166,7 +189,7 @@ impl Device {
     /// more threads per block than the hardware limit).
     pub fn launch<K: Kernel>(&self, kernel: &K, config: LaunchConfig) -> LaunchResult<K::Output> {
         config.validate(&self.spec);
-        execute_kernel(kernel, &config, &self.spec, self.host_threads)
+        execute_kernel(kernel, &config, &self.spec, &self.pool)
     }
 
     /// Launches a kernel asynchronously, returning immediately.
@@ -174,7 +197,8 @@ impl Device {
     /// Mirrors a CUDA stream launch followed by event polling: the host may
     /// keep working (the hybrid CPU/GPU scheme does exactly that) and later
     /// either poll [`PendingLaunch::is_ready`] or block in
-    /// [`PendingLaunch::wait`].
+    /// [`PendingLaunch::wait`]. The kernel runs on this device's pool; no
+    /// thread is created.
     pub fn launch_async<K>(&self, kernel: Arc<K>, config: LaunchConfig) -> PendingLaunch<K::Output>
     where
         K: Kernel + Send + Sync + 'static,
@@ -182,8 +206,10 @@ impl Device {
     {
         config.validate(&self.spec);
         let spec = Arc::clone(&self.spec);
-        let host_threads = self.host_threads;
-        PendingLaunch::spawn(move || execute_kernel(&*kernel, &config, &spec, host_threads))
+        let pool = Arc::clone(&self.pool);
+        PendingLaunch::spawn_on(&self.pool, move || {
+            execute_kernel(&*kernel, &config, &spec, &pool)
+        })
     }
 }
 

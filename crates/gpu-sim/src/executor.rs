@@ -1,8 +1,8 @@
 //! The SIMT execution engine.
 //!
 //! Executes a [`Kernel`] over a [`LaunchConfig`] with warp-lockstep
-//! semantics and produces both the per-thread outputs and a fully accounted
-//! [`KernelStats`].
+//! *accounting* and produces both the per-thread outputs and a fully
+//! accounted [`KernelStats`].
 //!
 //! **Virtual-time model.** Within a warp, every lockstep step costs
 //! [`DeviceSpec::cycles_per_warp_step`] cycles and the warp runs until its
@@ -16,16 +16,24 @@
 //! the paper's Fig. 5.
 //!
 //! **Real execution.** Lane programs really run (they play full random
-//! games); blocks are distributed over host worker threads for wall-clock
-//! speed. Because each block's simulation is self-contained and outputs are
-//! written to its own slot, results are bit-identical regardless of host
-//! thread count.
+//! games), but *not* in interpreted lockstep: because lanes are independent
+//! (`Kernel::step` takes `&self` and all mutable state is per-lane), each
+//! lane runs start-to-finish in one tight pass and warp timing is
+//! reconstructed analytically — `warp_steps = max(lane_steps)` and
+//! `idle = warp_steps · lanes − Σ lane_steps` — which is exactly what the
+//! per-step masked interpreter measured, at a fraction of the wall-clock
+//! cost. The interpreter is retained as [`execute_kernel_lockstep`], the
+//! oracle the equivalence test-suite checks the fast engine against.
+//! Blocks are distributed over a persistent [`WorkerPool`] and folded in
+//! block order, so results are bit-identical regardless of pool size.
 
 use crate::device::DeviceSpec;
 use crate::kernel::{Kernel, LaunchConfig, ThreadId};
 use crate::launch::LaunchResult;
+use crate::pool::WorkerPool;
 use crate::stats::KernelStats;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Per-block simulation result, later folded into the launch result.
 struct BlockOutcome<O> {
@@ -37,8 +45,62 @@ struct BlockOutcome<O> {
     idle_lane_steps: u64,
 }
 
-/// Simulates one block: all its warps, each in lockstep.
+/// Simulates one block by running every lane to completion and accounting
+/// warp divergence analytically.
 fn simulate_block<K: Kernel>(
+    kernel: &K,
+    block: u32,
+    config: &LaunchConfig,
+    spec: &DeviceSpec,
+) -> BlockOutcome<K::Output> {
+    let tpb = config.threads_per_block;
+    let warp = spec.warp_size;
+    let mut outputs = Vec::with_capacity(tpb as usize);
+    let mut cycles = 0u64;
+    let mut warp_steps_total = 0u64;
+    let mut lane_steps_total = 0u64;
+    let mut idle_total = 0u64;
+
+    let mut warp_start = 0u32;
+    while warp_start < tpb {
+        let lanes = warp.min(tpb - warp_start);
+        let mut max_steps = 0u64;
+        let mut sum_steps = 0u64;
+        for lane in 0..lanes {
+            let thread = warp_start + lane;
+            let tid = ThreadId {
+                block,
+                thread,
+                global: block * tpb + thread,
+            };
+            let (output, steps) = kernel.run_lane(tid);
+            outputs.push(output);
+            max_steps = max_steps.max(steps);
+            sum_steps += steps;
+        }
+        // The warp runs until its slowest lane finishes; every step a
+        // finished lane sits through is idle — identical to what the masked
+        // lockstep interpreter counts step by step.
+        cycles += max_steps * spec.cycles_per_warp_step;
+        warp_steps_total += max_steps;
+        lane_steps_total += sum_steps;
+        idle_total += max_steps * lanes as u64 - sum_steps;
+        warp_start += lanes;
+    }
+
+    BlockOutcome {
+        block,
+        outputs,
+        cycles,
+        warp_steps: warp_steps_total,
+        lane_steps: lane_steps_total,
+        idle_lane_steps: idle_total,
+    }
+}
+
+/// Simulates one block with the per-step masked lockstep interpreter — the
+/// original engine, kept verbatim as the oracle.
+fn simulate_block_lockstep<K: Kernel>(
     kernel: &K,
     block: u32,
     config: &LaunchConfig,
@@ -117,55 +179,16 @@ fn simulate_block<K: Kernel>(
     }
 }
 
-/// Executes `kernel` over `config` on the simulated device described by
-/// `spec`, using up to `host_threads` real threads.
-///
-/// Outputs are returned in global-thread order (`block * tpb + thread`),
-/// matching the layout of the result array a CUDA kernel would write.
-pub fn execute_kernel<K: Kernel>(
+/// Folds per-block outcomes (sorted by block id) into the launch result:
+/// round-robin block→SM assignment, device time = busiest SM.
+fn fold_outcomes<K: Kernel>(
     kernel: &K,
     config: &LaunchConfig,
     spec: &DeviceSpec,
-    host_threads: usize,
+    mut block_outcomes: Vec<BlockOutcome<K::Output>>,
 ) -> LaunchResult<K::Output> {
-    let n_blocks = config.blocks;
-    let workers = host_threads.max(1).min(n_blocks as usize);
-
-    let mut block_outcomes: Vec<BlockOutcome<K::Output>> = if workers <= 1 {
-        (0..n_blocks)
-            .map(|b| simulate_block(kernel, b, config, spec))
-            .collect()
-    } else {
-        let next = AtomicU32::new(0);
-        let mut per_worker: Vec<Vec<BlockOutcome<K::Output>>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move |_| {
-                        let mut mine = Vec::new();
-                        loop {
-                            let b = next.fetch_add(1, Ordering::Relaxed);
-                            if b >= n_blocks {
-                                break;
-                            }
-                            mine.push(simulate_block(kernel, b, config, spec));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            for h in handles {
-                per_worker.push(h.join().expect("kernel worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
-        per_worker.into_iter().flatten().collect()
-    };
-
     block_outcomes.sort_by_key(|o| o.block);
 
-    // Round-robin block→SM assignment; device time = busiest SM.
     let mut per_sm_cycles = vec![0u64; spec.sm_count as usize];
     let mut warp_steps = 0u64;
     let mut lane_steps = 0u64;
@@ -194,6 +217,68 @@ pub fn execute_kernel<K: Kernel>(
     };
 
     LaunchResult { outputs, stats }
+}
+
+/// Executes `kernel` over `config` on the simulated device described by
+/// `spec`, fanning blocks out over `pool`'s workers (the calling thread
+/// participates, so a 1-worker pool degenerates to an inline loop).
+///
+/// Outputs are returned in global-thread order (`block * tpb + thread`),
+/// matching the layout of the result array a CUDA kernel would write.
+pub fn execute_kernel<K: Kernel>(
+    kernel: &K,
+    config: &LaunchConfig,
+    spec: &DeviceSpec,
+    pool: &WorkerPool,
+) -> LaunchResult<K::Output> {
+    let n_blocks = config.blocks;
+    let participants = pool.size().min(n_blocks as usize);
+
+    let block_outcomes: Vec<BlockOutcome<K::Output>> = if participants <= 1 {
+        (0..n_blocks)
+            .map(|b| simulate_block(kernel, b, config, spec))
+            .collect()
+    } else {
+        let next = AtomicU32::new(0);
+        let collected: Mutex<Vec<BlockOutcome<K::Output>>> =
+            Mutex::new(Vec::with_capacity(n_blocks as usize));
+        pool.run_scoped(participants, |_| {
+            let mut mine = Vec::new();
+            loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= n_blocks {
+                    break;
+                }
+                mine.push(simulate_block(kernel, b, config, spec));
+            }
+            collected
+                .lock()
+                .expect("block collector poisoned")
+                .extend(mine);
+        });
+        collected.into_inner().expect("block collector poisoned")
+    };
+
+    fold_outcomes(kernel, config, spec, block_outcomes)
+}
+
+/// Executes `kernel` with the original per-step masked lockstep interpreter,
+/// single-threaded.
+///
+/// This is the *oracle*: slower than [`execute_kernel`] but trivially
+/// faithful to the warp-lockstep semantics. The equivalence suite asserts
+/// both engines return bit-identical outputs and [`KernelStats`]; the
+/// `throughput` bench uses it as the wall-clock baseline. Not used on any
+/// search path.
+pub fn execute_kernel_lockstep<K: Kernel>(
+    kernel: &K,
+    config: &LaunchConfig,
+    spec: &DeviceSpec,
+) -> LaunchResult<K::Output> {
+    let block_outcomes = (0..config.blocks)
+        .map(|b| simulate_block_lockstep(kernel, b, config, spec))
+        .collect();
+    fold_outcomes(kernel, config, spec, block_outcomes)
 }
 
 #[cfg(test)]
@@ -231,11 +316,15 @@ mod tests {
         DeviceSpec::scalar()
     }
 
+    fn pool(n: usize) -> WorkerPool {
+        WorkerPool::new(n)
+    }
+
     #[test]
     fn outputs_are_in_global_thread_order() {
         let k = Countdown { modulus: 5 };
         let cfg = LaunchConfig::new(3, 8);
-        let r = execute_kernel(&k, &cfg, &scalar_spec(), 4);
+        let r = execute_kernel(&k, &cfg, &scalar_spec(), &pool(4));
         assert_eq!(r.outputs.len(), 24);
         for (i, &steps) in r.outputs.iter().enumerate() {
             assert_eq!(steps, i as u32 % 5 + 1);
@@ -250,7 +339,7 @@ mod tests {
         spec.warp_size = 4;
         let k = Countdown { modulus: 4 };
         let cfg = LaunchConfig::new(1, 4);
-        let r = execute_kernel(&k, &cfg, &spec, 1);
+        let r = execute_kernel(&k, &cfg, &spec, &pool(1));
         assert_eq!(r.stats.warp_steps, 4);
         assert_eq!(r.stats.lane_steps, 10);
         assert_eq!(r.stats.idle_lane_steps, 6);
@@ -261,7 +350,7 @@ mod tests {
     fn scalar_device_has_no_divergence_waste() {
         let k = Countdown { modulus: 7 };
         let cfg = LaunchConfig::new(2, 8);
-        let r = execute_kernel(&k, &cfg, &scalar_spec(), 1);
+        let r = execute_kernel(&k, &cfg, &scalar_spec(), &pool(1));
         assert_eq!(r.stats.idle_lane_steps, 0);
         assert_eq!(r.stats.lane_efficiency(), 1.0);
     }
@@ -276,27 +365,38 @@ mod tests {
         spec.sm_count = 2;
         let k = Countdown { modulus: 1 };
         let cfg = LaunchConfig::new(3, 1);
-        let r = execute_kernel(&k, &cfg, &spec, 2);
+        let r = execute_kernel(&k, &cfg, &spec, &pool(2));
         assert_eq!(r.stats.per_sm_cycles, vec![2, 1]);
         assert_eq!(r.stats.device_time, SimTime::from_nanos(2));
     }
 
     #[test]
-    fn results_identical_across_host_thread_counts() {
+    fn results_identical_across_pool_sizes() {
         let k = Countdown { modulus: 9 };
         let cfg = LaunchConfig::new(16, 32);
         let spec = DeviceSpec::tesla_c2050();
-        let a = execute_kernel(&k, &cfg, &spec, 1);
-        let b = execute_kernel(&k, &cfg, &spec, 8);
+        let a = execute_kernel(&k, &cfg, &spec, &pool(1));
+        let b = execute_kernel(&k, &cfg, &spec, &pool(8));
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn fast_engine_matches_lockstep_oracle() {
+        let k = Countdown { modulus: 9 };
+        let cfg = LaunchConfig::new(16, 48);
+        let spec = DeviceSpec::tesla_c2050();
+        let fast = execute_kernel(&k, &cfg, &spec, &pool(4));
+        let oracle = execute_kernel_lockstep(&k, &cfg, &spec);
+        assert_eq!(fast.outputs, oracle.outputs);
+        assert_eq!(fast.stats, oracle.stats);
     }
 
     #[test]
     fn launch_overhead_charged_once() {
         let spec = DeviceSpec::tesla_c2050();
         let k = Countdown { modulus: 1 };
-        let r = execute_kernel(&k, &LaunchConfig::new(1, 1), &spec, 1);
+        let r = execute_kernel(&k, &LaunchConfig::new(1, 1), &spec, &pool(1));
         assert_eq!(r.stats.launch_overhead, spec.launch_overhead);
         assert!(r.stats.elapsed() >= spec.launch_overhead);
     }
@@ -307,7 +407,7 @@ mod tests {
         spec.warp_size = 32;
         let k = Countdown { modulus: 3 };
         let cfg = LaunchConfig::new(1, 40); // 1 full warp + 8-lane partial
-        let r = execute_kernel(&k, &cfg, &spec, 1);
+        let r = execute_kernel(&k, &cfg, &spec, &pool(1));
         assert_eq!(r.outputs.len(), 40);
         assert_eq!(r.stats.warps, 2);
     }
@@ -316,8 +416,9 @@ mod tests {
     fn bigger_grids_take_longer_on_same_device() {
         let spec = DeviceSpec::tesla_c2050();
         let k = Countdown { modulus: 60 };
-        let small = execute_kernel(&k, &LaunchConfig::new(14, 32), &spec, 4);
-        let big = execute_kernel(&k, &LaunchConfig::new(140, 32), &spec, 4);
+        let p = pool(4);
+        let small = execute_kernel(&k, &LaunchConfig::new(14, 32), &spec, &p);
+        let big = execute_kernel(&k, &LaunchConfig::new(140, 32), &spec, &p);
         assert!(big.stats.device_time > small.stats.device_time);
         // 10x blocks on a 14-SM device should be ~10x device time.
         let ratio =

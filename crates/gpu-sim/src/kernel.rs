@@ -98,6 +98,28 @@ pub trait Kernel: Sync {
     fn output_bytes(&self) -> u64 {
         4
     }
+
+    /// Runs one lane start-to-finish and returns its output together with
+    /// the number of lockstep steps it took (always ≥ 1).
+    ///
+    /// Lanes are independent (`step` takes `&self`), so the run-to-completion
+    /// engine executes each lane in one tight pass and reconstructs warp
+    /// timing analytically from the returned step counts. The default drives
+    /// `init`/`step`/`finish`; kernels that know their step count without a
+    /// per-step state machine (e.g. a playout kernel: one ply per step) may
+    /// override this with a fused loop, but the override **must** return the
+    /// exact `(output, steps)` the default would — the lockstep oracle in
+    /// [`crate::executor::execute_kernel_lockstep`] checks this.
+    fn run_lane(&self, tid: ThreadId) -> (Self::Output, u64) {
+        let mut state = self.init(tid);
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            if self.step(&mut state, tid) {
+                return (self.finish(state, tid), steps);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

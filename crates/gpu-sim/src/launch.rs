@@ -3,13 +3,15 @@
 //! [`PendingLaunch`] mirrors the CUDA asynchronous-stream pattern the paper's
 //! hybrid scheme depends on (its Fig. 4): the host calls the kernel
 //! asynchronously, keeps expanding trees on the CPU, and polls for the "gpu
-//! ready event". Here the kernel runs on a background host thread; readiness
-//! is a flag the worker sets just before finishing.
+//! ready event". Here the kernel runs on the device's persistent
+//! [`WorkerPool`](crate::pool::WorkerPool) — no thread is created per
+//! launch; readiness is a flag the worker sets just before finishing.
 
+use crate::pool::WorkerPool;
 use crate::stats::KernelStats;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The result of a completed kernel launch.
 #[derive(Clone, Debug)]
@@ -20,57 +22,69 @@ pub struct LaunchResult<O> {
     pub stats: KernelStats,
 }
 
+/// The rendezvous slot a pool worker fills when the launch completes.
+struct AsyncSlot<O> {
+    result: Mutex<Option<std::thread::Result<LaunchResult<O>>>>,
+    ready: AtomicBool,
+    done: Condvar,
+}
+
 /// A kernel in flight on the simulated device.
 ///
 /// Dropping a `PendingLaunch` without calling [`wait`](Self::wait) detaches
-/// the computation (it still completes, its result is discarded) — the same
-/// fire-and-forget semantics as an unsynchronised CUDA stream.
+/// the computation (it still completes on the pool, its result is
+/// discarded) — the same fire-and-forget semantics as an unsynchronised
+/// CUDA stream.
 pub struct PendingLaunch<O> {
-    handle: Option<JoinHandle<LaunchResult<O>>>,
-    ready: Arc<AtomicBool>,
+    slot: Arc<AsyncSlot<O>>,
 }
 
 impl<O: Send + 'static> PendingLaunch<O> {
-    /// Runs `job` on a background thread and returns the handle immediately.
-    pub(crate) fn spawn<F>(job: F) -> Self
+    /// Enqueues `job` on `pool` and returns the handle immediately.
+    pub(crate) fn spawn_on<F>(pool: &WorkerPool, job: F) -> Self
     where
         F: FnOnce() -> LaunchResult<O> + Send + 'static,
     {
-        let ready = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&ready);
-        let handle = std::thread::spawn(move || {
-            let result = job();
-            flag.store(true, Ordering::Release);
-            result
+        let slot = Arc::new(AsyncSlot {
+            result: Mutex::new(None),
+            ready: AtomicBool::new(false),
+            done: Condvar::new(),
         });
-        PendingLaunch {
-            handle: Some(handle),
-            ready,
-        }
+        let worker_slot = Arc::clone(&slot);
+        pool.submit(move || {
+            let result = catch_unwind(AssertUnwindSafe(job));
+            *worker_slot.result.lock().expect("async slot poisoned") = Some(result);
+            worker_slot.ready.store(true, Ordering::Release);
+            worker_slot.done.notify_all();
+        });
+        PendingLaunch { slot }
     }
 
     /// Whether the kernel has finished (the "GPU ready event" poll).
     pub fn is_ready(&self) -> bool {
-        self.ready.load(Ordering::Acquire)
+        self.slot.ready.load(Ordering::Acquire)
     }
 
     /// Blocks until the kernel completes and returns its result.
     ///
     /// # Panics
-    /// Panics if the kernel itself panicked, or if called twice.
-    pub fn wait(mut self) -> LaunchResult<O> {
-        self.handle
-            .take()
-            .expect("PendingLaunch already waited")
-            .join()
-            .expect("kernel thread panicked")
+    /// Re-raises the kernel's panic if it panicked.
+    pub fn wait(self) -> LaunchResult<O> {
+        let mut guard = self.slot.result.lock().expect("async slot poisoned");
+        while guard.is_none() {
+            guard = self.slot.done.wait(guard).expect("async slot poisoned");
+        }
+        match guard.take().expect("result present") {
+            Ok(result) => result,
+            Err(payload) => resume_unwind(payload),
+        }
     }
 }
 
 impl<O> std::fmt::Debug for PendingLaunch<O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PendingLaunch")
-            .field("ready", &self.ready.load(Ordering::Relaxed))
+            .field("ready", &self.slot.ready.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -125,7 +139,7 @@ mod tests {
     fn is_ready_eventually_true() {
         let dev = Device::new(DeviceSpec::tesla_c2050());
         let pending = dev.launch_async(Arc::new(Spin { n: 2 }), LaunchConfig::new(1, 32));
-        // Poll; the background thread must flip the flag.
+        // Poll; the pool worker must flip the flag.
         let mut spins = 0u64;
         while !pending.is_ready() {
             std::hint::spin_loop();
@@ -141,5 +155,19 @@ mod tests {
         let dev = Device::new(DeviceSpec::tesla_c2050());
         let pending = dev.launch_async(Arc::new(Spin { n: 1 }), LaunchConfig::new(1, 32));
         drop(pending); // must not deadlock or panic
+    }
+
+    #[test]
+    fn many_async_launches_reuse_the_pool() {
+        // Regression for the old spawn-per-launch behaviour: a batch of
+        // async launches must all complete on a small fixed pool.
+        let dev = Device::new(DeviceSpec::tesla_c2050()).with_host_threads(2);
+        let kernel = Arc::new(Spin { n: 2 });
+        let pending: Vec<_> = (0..32)
+            .map(|_| dev.launch_async(Arc::clone(&kernel), LaunchConfig::new(2, 32)))
+            .collect();
+        for p in pending {
+            assert_eq!(p.wait().outputs.len(), 64);
+        }
     }
 }

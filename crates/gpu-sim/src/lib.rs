@@ -7,11 +7,14 @@
 //! argument rests on (see `DESIGN.md` §1):
 //!
 //! 1. **Warp lockstep** ([`executor`]): threads are grouped into warps of
-//!    [`DeviceSpec::warp_size`]; a warp advances one step at a time and is
+//!    [`DeviceSpec::warp_size`]; a warp is charged one step at a time and is
 //!    finished only when its *slowest* lane is — lanes that finish their
 //!    playout early sit masked-out and idle. This is the SIMD divergence that
 //!    makes one-whole-search-per-thread (root parallelism per thread)
-//!    infeasible on GPUs.
+//!    infeasible on GPUs. (Lanes are independent, so the engine *executes*
+//!    each lane to completion and derives the lockstep accounting
+//!    analytically; the per-step interpreter survives as
+//!    [`executor::execute_kernel_lockstep`], the test oracle.)
 //! 2. **Block/SM scheduling** ([`executor`]): blocks are distributed
 //!    round-robin over [`DeviceSpec::sm_count`] multiprocessors and an SM's
 //!    time is the sum of its resident warps' work; the device is done when
@@ -26,6 +29,10 @@
 //!    stream + event pattern that the paper's hybrid CPU/GPU scheme (its
 //!    Fig. 4) is built on.
 //!
+//! All real execution — synchronous block fan-out and asynchronous
+//! launches alike — runs on a persistent per-device [`pool::WorkerPool`];
+//! no OS thread is created per launch.
+//!
 //! Time is *virtual* ([`pmcts_util::SimTime`]), computed from a deterministic
 //! cycle-accounting model, while the kernels' actual work (random Reversi
 //! playouts) really executes on host threads. Experiments are therefore
@@ -36,9 +43,11 @@ pub mod device;
 pub mod executor;
 pub mod kernel;
 pub mod launch;
+pub mod pool;
 pub mod stats;
 
 pub use device::{Device, DeviceSpec};
 pub use kernel::{Kernel, LaunchConfig, ThreadId};
 pub use launch::{LaunchResult, PendingLaunch};
+pub use pool::WorkerPool;
 pub use stats::KernelStats;

@@ -1,0 +1,229 @@
+//! Property tests: the run-to-completion engine must be bit-identical to
+//! the retained per-step masked lockstep interpreter.
+//!
+//! `execute_kernel` runs every lane start-to-finish and reconstructs the
+//! warp-divergence accounting analytically; `execute_kernel_lockstep` is
+//! the original interpreter, kept verbatim as the oracle. These tests
+//! assert both engines agree on the *outputs* and on every field of
+//! [`KernelStats`] across randomized kernels, launch geometries, warp
+//! sizes, SM counts and worker-pool sizes — including kernels that
+//! override [`Kernel::run_lane`] with a fused loop, which is exactly the
+//! contract the playout kernel relies on.
+
+use pmcts_gpu_sim::executor::{execute_kernel, execute_kernel_lockstep};
+use pmcts_gpu_sim::{DeviceSpec, Kernel, LaunchConfig, ThreadId, WorkerPool};
+use proptest::prelude::*;
+
+/// splitmix64 — cheap, well-mixed per-thread hashing for the test kernels.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Lane `global` runs `mix(salt ^ global) % modulus + 1` steps — irregular
+/// but precomputable divergence. Overrides `run_lane` with the closed form,
+/// so the suite exercises the fused-override contract, not just the
+/// default `init`/`step`/`finish` driver.
+struct HashCountdown {
+    salt: u64,
+    modulus: u32,
+}
+
+impl HashCountdown {
+    fn steps_for(&self, global: u32) -> u32 {
+        (mix(self.salt ^ u64::from(global)) % u64::from(self.modulus)) as u32 + 1
+    }
+}
+
+impl Kernel for HashCountdown {
+    type ThreadState = (u32, u32); // (remaining, taken)
+    type Output = u32;
+
+    fn init(&self, tid: ThreadId) -> (u32, u32) {
+        (self.steps_for(tid.global), 0)
+    }
+
+    fn step(&self, state: &mut (u32, u32), _tid: ThreadId) -> bool {
+        state.0 -= 1;
+        state.1 += 1;
+        state.0 == 0
+    }
+
+    fn finish(&self, state: (u32, u32), tid: ThreadId) -> u32 {
+        state.1 ^ tid.global.rotate_left(7)
+    }
+
+    fn run_lane(&self, tid: ThreadId) -> (u32, u64) {
+        let steps = self.steps_for(tid.global);
+        (steps ^ tid.global.rotate_left(7), u64::from(steps))
+    }
+}
+
+/// Lane walks a splitmix chain until the low bits hit zero — the step
+/// count is data-dependent and unknowable without running the chain, like
+/// a real playout. Uses the default `run_lane`, so the engines differ only
+/// in scheduling/accounting.
+struct HashWalk {
+    salt: u64,
+    mask: u64,
+}
+
+impl Kernel for HashWalk {
+    type ThreadState = u64;
+    type Output = u64;
+
+    fn init(&self, tid: ThreadId) -> u64 {
+        mix(self.salt.wrapping_add(u64::from(tid.global)))
+    }
+
+    fn step(&self, state: &mut u64, _tid: ThreadId) -> bool {
+        *state = mix(*state);
+        *state & self.mask == 0
+    }
+
+    fn finish(&self, state: u64, _tid: ThreadId) -> u64 {
+        state
+    }
+
+    fn output_bytes(&self) -> u64 {
+        8
+    }
+}
+
+fn spec_with(warp_size: u32, sm_count: u32) -> DeviceSpec {
+    let mut spec = DeviceSpec::tesla_c2050();
+    spec.warp_size = warp_size;
+    spec.sm_count = sm_count;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fused-override kernel: outputs and full stats match the oracle for
+    /// any geometry, warp size, SM count and pool size.
+    #[test]
+    fn countdown_matches_oracle(
+        salt in any::<u64>(),
+        modulus in 1u32..40,
+        blocks in 1u32..7,
+        tpb in 1u32..80,
+        (warp_size, sm_count) in prop::sample::select(vec![
+            (1u32, 1u32), (2, 2), (4, 14), (32, 2), (32, 14),
+        ]),
+        workers in 1usize..5,
+    ) {
+        let kernel = HashCountdown { salt, modulus };
+        let config = LaunchConfig::new(blocks, tpb);
+        let spec = spec_with(warp_size, sm_count);
+        let pool = WorkerPool::new(workers);
+        let fast = execute_kernel(&kernel, &config, &spec, &pool);
+        let oracle = execute_kernel_lockstep(&kernel, &config, &spec);
+        prop_assert_eq!(&fast.outputs, &oracle.outputs);
+        prop_assert_eq!(&fast.stats, &oracle.stats);
+    }
+
+    /// Data-dependent walk kernel (default `run_lane`): bit-identical to
+    /// the oracle.
+    #[test]
+    fn hash_walk_matches_oracle(
+        salt in any::<u64>(),
+        mask_bits in 1u32..6,
+        blocks in 1u32..5,
+        tpb in 1u32..70,
+        warp_size in prop::sample::select(vec![1u32, 4, 32]),
+        workers in 1usize..5,
+    ) {
+        let kernel = HashWalk { salt, mask: (1u64 << mask_bits) - 1 };
+        let config = LaunchConfig::new(blocks, tpb);
+        let spec = spec_with(warp_size, 14);
+        let pool = WorkerPool::new(workers);
+        let fast = execute_kernel(&kernel, &config, &spec, &pool);
+        let oracle = execute_kernel_lockstep(&kernel, &config, &spec);
+        prop_assert_eq!(&fast.outputs, &oracle.outputs);
+        prop_assert_eq!(&fast.stats, &oracle.stats);
+    }
+
+    /// Pool size is pure host-side mechanics: any worker count gives the
+    /// byte-identical launch result.
+    #[test]
+    fn pool_size_never_changes_results(
+        salt in any::<u64>(),
+        modulus in 1u32..25,
+        blocks in 1u32..9,
+        tpb in 1u32..65,
+    ) {
+        let kernel = HashCountdown { salt, modulus };
+        let config = LaunchConfig::new(blocks, tpb);
+        let spec = DeviceSpec::tesla_c2050();
+        let serial = execute_kernel(&kernel, &config, &spec, &WorkerPool::new(1));
+        for workers in [2usize, 3, 8] {
+            let parallel = execute_kernel(&kernel, &config, &spec, &WorkerPool::new(workers));
+            prop_assert_eq!(&serial.outputs, &parallel.outputs);
+            prop_assert_eq!(&serial.stats, &parallel.stats);
+        }
+    }
+}
+
+/// The divergence identity the analytic accounting rests on, checked
+/// exhaustively on one geometry: `idle = warp_steps·lanes − Σ lane_steps`
+/// and `warp_steps = Σ_warps max(lane_steps)`.
+#[test]
+fn analytic_divergence_identity_holds() {
+    let kernel = HashCountdown {
+        salt: 0xD1CE,
+        modulus: 13,
+    };
+    let spec = spec_with(4, 2);
+    let config = LaunchConfig::new(3, 10); // partial warps too
+    let r = execute_kernel(&kernel, &config, &spec, &WorkerPool::new(2));
+
+    let mut warp_steps = 0u64;
+    let mut lane_steps = 0u64;
+    let mut idle = 0u64;
+    for block in 0..config.blocks {
+        let mut start = 0u32;
+        while start < config.threads_per_block {
+            let lanes = spec.warp_size.min(config.threads_per_block - start);
+            let steps: Vec<u64> = (0..lanes)
+                .map(|lane| {
+                    u64::from(kernel.steps_for(block * config.threads_per_block + start + lane))
+                })
+                .collect();
+            let max = steps.iter().copied().max().unwrap();
+            let sum: u64 = steps.iter().sum();
+            warp_steps += max;
+            lane_steps += sum;
+            idle += max * u64::from(lanes) - sum;
+            start += lanes;
+        }
+    }
+    assert_eq!(r.stats.warp_steps, warp_steps);
+    assert_eq!(r.stats.lane_steps, lane_steps);
+    assert_eq!(r.stats.idle_lane_steps, idle);
+    assert_eq!(r.stats.lane_steps + r.stats.idle_lane_steps, {
+        // total occupied lane-slots = Σ_warps max·lanes
+        warp_steps_times_lanes(&kernel, &config, &spec)
+    });
+}
+
+fn warp_steps_times_lanes(kernel: &HashCountdown, config: &LaunchConfig, spec: &DeviceSpec) -> u64 {
+    let mut total = 0u64;
+    for block in 0..config.blocks {
+        let mut start = 0u32;
+        while start < config.threads_per_block {
+            let lanes = spec.warp_size.min(config.threads_per_block - start);
+            let max = (0..lanes)
+                .map(|lane| {
+                    u64::from(kernel.steps_for(block * config.threads_per_block + start + lane))
+                })
+                .max()
+                .unwrap();
+            total += max * u64::from(lanes);
+            start += lanes;
+        }
+    }
+    total
+}
