@@ -7,19 +7,28 @@
 //! SIMD hardware, while per-block shared *positions* keep warps coherent.
 //!
 //! Run: `cargo run --release -p pmcts-bench --bin divergence_report`
+//! (`--out DIR` also writes `DIR/divergence_report.txt` so CI can validate
+//! and archive it).
 
 use pmcts_bench::{midgame_position, BenchArgs};
 use pmcts_core::gpu::PlayoutKernel;
 use pmcts_games::{random_playout, Game, Reversi};
 use pmcts_gpu_sim::{Device, LaunchConfig};
 use pmcts_util::{Histogram, Xoshiro256pp};
+use std::fmt::Write as _;
+use std::io::Write as _;
 
 fn main() {
     let args = BenchArgs::parse();
     let playouts = if args.full { 20_000 } else { 4_000 };
 
-    println!("# divergence_report: Reversi playout lengths and warp efficiency\n");
-    println!(
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "# divergence_report: Reversi playout lengths and warp efficiency\n"
+    );
+    let _ = writeln!(
+        text,
         "{:<22} {:>6} {:>6} {:>6} {:>6} {:>8} {:>12}",
         "phase", "mean", "p10", "p50", "p90", "max", "efficiency"
     );
@@ -47,7 +56,8 @@ fn main() {
         let kernel = PlayoutKernel::new(vec![position], args.seed);
         let result = device.launch(&kernel, LaunchConfig::new(14, 64));
 
-        println!(
+        let _ = writeln!(
+            text,
             "{label:<22} {:>6.1} {:>6} {:>6} {:>6} {:>8} {:>11.1}%",
             hist.mean(),
             hist.quantile(0.1).unwrap_or(0),
@@ -58,9 +68,19 @@ fn main() {
         );
     }
 
-    println!(
+    let _ = writeln!(
+        text,
         "\nInterpretation: a warp retires only when its longest playout ends, so\n\
          lane efficiency ≈ mean/max of the in-warp length distribution. Late-game\n\
          positions have shorter, tighter playouts and thus higher efficiency."
     );
+
+    print!("{text}");
+    if let Some(dir) = &args.out_dir {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        let path = format!("{dir}/divergence_report.txt");
+        let mut f = std::fs::File::create(&path).expect("create report");
+        f.write_all(text.as_bytes()).expect("write report");
+        eprintln!("wrote {path}");
+    }
 }

@@ -1,0 +1,109 @@
+//! Fault-injection matrix: {every scheme} × {every fault class}.
+//!
+//! Each cell runs one searcher under one 100%-rate fault class on the same
+//! mid-game position and asserts graceful degradation: the search must
+//! still produce a best move and the phase ledger must still sum to
+//! `elapsed` exactly. One JSON record per cell carries the standard phase
+//! ledger plus the `FaultCounters` and the chosen move.
+//!
+//! The output contains no wall-clock fields, so the same (seed, plan) must
+//! produce byte-identical JSON at any `--host-threads` count — the CI
+//! determinism gate diffs two runs at different counts.
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin fault_matrix -- [--full]`
+//! (`--out DIR` also writes `DIR/fault_matrix.json`).
+
+use pmcts_bench::{midgame_position, phase_record, write_json, BenchArgs, JsonObject};
+use pmcts_core::prelude::*;
+use pmcts_gpu_sim::WorkerPool;
+use pmcts_mpi_sim::NetworkModel;
+use std::sync::Arc;
+
+/// The fault classes under test. Rates are 1.0 so every applicable cell
+/// genuinely exercises its response policy; classes a scheme has no
+/// component for (e.g. network faults on a single-device scheme) simply
+/// leave its counters at zero.
+fn fault_classes(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("none", FaultPlan::none()),
+        ("gpu_slowdown", FaultPlan::gpu_slowdown(seed ^ 1, 1.0, 3)),
+        ("gpu_hang", FaultPlan::gpu_hang(seed ^ 2, 1.0)),
+        ("gpu_abort", FaultPlan::gpu_abort(seed ^ 3, 1.0)),
+        ("net_delay", FaultPlan::net_delay(seed ^ 4, 1.0, 3)),
+        ("net_drop", FaultPlan::net_drop(seed ^ 5, 1.0)),
+        ("dead_component", FaultPlan::dead_component(seed ^ 6, 1.0)),
+    ]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let position = midgame_position(args.seed, 20);
+    let iters = if args.full { 12 } else { 4 };
+    let budget = SearchBudget::Iterations(iters);
+    let ranks = if args.full { 3 } else { 2 };
+    let launch = LaunchConfig::new(4, 32);
+    let net = NetworkModel::infiniband();
+    let host_threads = args.host_threads_or(2);
+    let pool = Arc::new(WorkerPool::new(host_threads));
+    let device = || Device::new(DeviceSpec::tesla_c2050()).with_host_threads(host_threads);
+
+    let mut records: Vec<JsonObject> = Vec::new();
+    for (class, plan) in fault_classes(args.seed) {
+        let cfg = MctsConfig::default().with_seed(args.seed).with_faults(plan);
+        let mut run = |scheme: &str, searcher: &mut dyn Searcher<Reversi>| {
+            let r = searcher.search(position, budget);
+            let best = r
+                .best_move
+                .unwrap_or_else(|| panic!("{scheme}/{class}: search produced no move"));
+            assert_eq!(
+                r.phases.phase_sum(),
+                r.elapsed,
+                "{scheme}/{class}: phase sum must equal elapsed exactly"
+            );
+            records.push(
+                phase_record(scheme, &r)
+                    .str_field("fault_class", class)
+                    .str_field("best_move", &format!("{best:?}")),
+            );
+        };
+
+        run(
+            "leaf_parallel",
+            &mut LeafParallelSearcher::<Reversi>::new(cfg.clone(), device(), launch),
+        );
+        run(
+            "block_parallel",
+            &mut BlockParallelSearcher::<Reversi>::new(cfg.clone(), device(), launch),
+        );
+        run(
+            "hybrid",
+            &mut HybridSearcher::<Reversi>::new(cfg.clone(), device(), launch),
+        );
+        run(
+            "root_parallel",
+            &mut RootParallelSearcher::<Reversi>::new(cfg.clone(), 4).with_workers(host_threads),
+        );
+        run(
+            "multi_gpu",
+            &mut MultiGpuSearcher::<Reversi>::new(
+                cfg.clone(),
+                ranks,
+                DeviceSpec::tesla_c2050(),
+                launch,
+                net,
+            )
+            .with_pool(Arc::clone(&pool)),
+        );
+        run(
+            "multi_node_cpu",
+            &mut MultiNodeCpuSearcher::<Reversi>::new(cfg.clone(), ranks, 2, net),
+        );
+    }
+
+    eprintln!(
+        "{} cells ({} fault classes × 6 schemes), {iters} iterations each",
+        records.len(),
+        fault_classes(args.seed).len(),
+    );
+    write_json("fault_matrix", &records, &args);
+}

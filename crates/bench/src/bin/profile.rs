@@ -39,7 +39,10 @@ fn main() {
     let iters = if args.full { 16 } else { 4 };
     let budget = SearchBudget::Iterations(iters);
     let cfg = || MctsConfig::default().with_seed(args.seed);
-    let device = Device::c2050();
+    let mut device = Device::c2050();
+    if args.host_threads > 0 {
+        device = device.with_host_threads(args.host_threads);
+    }
     let net = NetworkModel::infiniband();
     let mut records: Vec<JsonObject> = Vec::new();
 

@@ -23,6 +23,10 @@ pub struct BenchArgs {
     /// Override for the per-move virtual budget in milliseconds
     /// (0 = binary default).
     pub move_ms: u64,
+    /// Override for real host worker threads (0 = binary default). Virtual
+    /// results are host-thread independent; the CI determinism gate runs
+    /// the same experiment at different counts and diffs the output.
+    pub host_threads: usize,
     /// Optional output directory for TSV files.
     pub out_dir: Option<String>,
 }
@@ -34,6 +38,7 @@ impl Default for BenchArgs {
             seed: 0xF1605EED,
             games: 0,
             move_ms: 0,
+            host_threads: 0,
             out_dir: None,
         }
     }
@@ -51,6 +56,9 @@ impl BenchArgs {
                 "--seed" => args.seed = expect_num(&mut it, "--seed"),
                 "--games" => args.games = expect_num(&mut it, "--games"),
                 "--move-ms" => args.move_ms = expect_num(&mut it, "--move-ms"),
+                "--host-threads" => {
+                    args.host_threads = expect_num(&mut it, "--host-threads") as usize
+                }
                 "--out" => {
                     args.out_dir = Some(it.next().unwrap_or_else(|| usage("--out needs a path")))
                 }
@@ -82,6 +90,15 @@ impl BenchArgs {
             default_quick
         }
     }
+
+    /// Real host worker threads, honouring the override.
+    pub fn host_threads_or(&self, default: usize) -> usize {
+        if self.host_threads > 0 {
+            self.host_threads
+        } else {
+            default
+        }
+    }
 }
 
 fn expect_num(it: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
@@ -92,7 +109,7 @@ fn expect_num(it: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "{msg}\n\nflags:\n  --quick          CI-sized sweep (default)\n  --full           paper-sized sweep\n  --seed N         base RNG seed\n  --games N        games per configuration\n  --move-ms N      per-move virtual budget in milliseconds\n  --out DIR        also write output files (TSV/JSON) to DIR"
+        "{msg}\n\nflags:\n  --quick          CI-sized sweep (default)\n  --full           paper-sized sweep\n  --seed N         base RNG seed\n  --games N        games per configuration\n  --move-ms N      per-move virtual budget in milliseconds\n  --host-threads N real host worker threads (results are unaffected)\n  --out DIR        also write output files (TSV/JSON) to DIR"
     );
     std::process::exit(2)
 }
@@ -214,6 +231,10 @@ pub fn phase_record<M>(scheme: &str, report: &pmcts_core::prelude::SearchReport<
         .f64_field("kernel_share", p.kernel_share())
         .f64_field("mean_occupancy", p.mean_occupancy())
         .f64_field("lane_efficiency", p.lane_efficiency())
+        .u64_field("faults_injected", p.faults.injected)
+        .u64_field("faults_retried", p.faults.retried)
+        .u64_field("faults_degraded", p.faults.degraded)
+        .u64_field("faults_excluded", p.faults.excluded)
 }
 
 /// Prints `records` as a JSON array to stdout and, with `--out DIR`, writes

@@ -18,8 +18,8 @@ use crate::gpu::{aggregate, PlayoutKernel};
 use crate::searcher::{BudgetTracker, SearchReport, Searcher};
 use crate::telemetry::PhaseBreakdown;
 use crate::tree::{best_from_stats, merge_root_stats, SearchTree};
-use pmcts_games::Game;
-use pmcts_gpu_sim::{Device, LaunchConfig};
+use pmcts_games::{random_playout, Game, Player};
+use pmcts_gpu_sim::{Device, GpuFault, LaunchConfig};
 use pmcts_util::{SimTime, Xoshiro256pp};
 
 /// Block-parallel GPU searcher: one MCTS tree per GPU block.
@@ -98,9 +98,10 @@ impl<G: Game> BlockParallelSearcher<G> {
             return (trees, tracker, 0, phases);
         }
 
+        let plan = self.config.faults;
         while tracker.may_continue() {
             // Host-sequential part: selection + expansion on every tree.
-            let mut host_cost = cpu.launch_prep;
+            let mut iter_cost = SimTime::ZERO;
             let mut frontier: Vec<(u32, G)> = Vec::with_capacity(blocks);
             for tree in trees.iter_mut() {
                 let selected = tree.select(self.config.exploration_c);
@@ -111,36 +112,88 @@ impl<G: Game> BlockParallelSearcher<G> {
                     selected
                 };
                 let depth = tree.node(node).depth;
-                host_cost += cpu.tree_op(depth);
+                iter_cost += cpu.tree_op(depth);
                 phases.select += cpu.select_cost(depth);
                 phases.expand += cpu.expand_cost();
                 frontier.push((node, tree.node(node).state));
             }
 
-            // One launch simulates every tree's frontier node.
-            let kernel = PlayoutKernel::new(
-                frontier.iter().map(|&(_, s)| s).collect(),
-                self.next_stream_seed(),
-            );
-            let upload = self.device.spec().transfer_time(kernel.upload_bytes());
-            let result = self.device.launch(&kernel, self.launch);
+            // One launch simulates every tree's frontier node. A hang is
+            // retried once; a second hang degrades the iteration to one CPU
+            // playout per tree.
+            let mut retried = false;
+            loop {
+                let kernel = PlayoutKernel::new(
+                    frontier.iter().map(|&(_, s)| s).collect(),
+                    self.next_stream_seed(),
+                );
+                let fault = plan.gpu_fault(self.stream, self.epoch, self.launch.blocks);
+                let upload = self.device.spec().transfer_time(kernel.upload_bytes());
+                let result = self.device.launch_with_fault(&kernel, self.launch, fault);
+                phases.upload += cpu.launch_prep + upload;
+                iter_cost += cpu.launch_prep + upload;
 
-            // Read back per-block and backpropagate into each tree —
-            // host-sequential as well.
-            for (b, tree) in trees.iter_mut().enumerate() {
-                let lanes = &result.outputs[b * tpb..(b + 1) * tpb];
-                let (wins_p1, n) = aggregate(lanes);
-                tree.backprop(frontier[b].0, wins_p1, n);
-                simulations += n;
-                phases.simulations += n;
+                if result.fault == GpuFault::Hang {
+                    let deadline = plan.hang_deadline(result.stats.elapsed());
+                    phases.kernel += deadline;
+                    iter_cost += deadline;
+                    phases.faults.injected += 1;
+                    if !retried {
+                        retried = true;
+                        phases.faults.retried += 1;
+                        continue;
+                    }
+                    // Degraded mode: every tree gets one CPU playout from
+                    // its already-selected frontier node.
+                    for (b, tree) in trees.iter_mut().enumerate() {
+                        let playout = random_playout(frontier[b].1, &mut self.rng);
+                        let cost = cpu.playout(playout.plies);
+                        phases.kernel += cost;
+                        iter_cost += cost;
+                        tree.backprop(frontier[b].0, playout.reward_for(Player::P1), 1);
+                        simulations += 1;
+                        phases.simulations += 1;
+                        phases.faults.degraded += 1;
+                    }
+                    break;
+                }
+
+                let voided = match result.fault {
+                    GpuFault::BlockAbort(bad) => {
+                        phases.faults.injected += 1;
+                        phases.faults.degraded += 1;
+                        Some(bad as usize)
+                    }
+                    fault => {
+                        if fault != GpuFault::None {
+                            phases.faults.injected += 1;
+                        }
+                        None
+                    }
+                };
+
+                // Read back per-block and backpropagate into each tree —
+                // host-sequential as well. An aborted block's tree simply
+                // receives nothing this iteration.
+                for (b, tree) in trees.iter_mut().enumerate() {
+                    if Some(b) == voided {
+                        continue;
+                    }
+                    let lanes = &result.outputs[b * tpb..(b + 1) * tpb];
+                    let (wins_p1, n) = aggregate(lanes);
+                    tree.backprop(frontier[b].0, wins_p1, n);
+                    simulations += n;
+                    phases.simulations += n;
+                }
+
+                phases.kernel += result.stats.launch_overhead + result.stats.device_time;
+                phases.readback += result.stats.readback_time;
+                iter_cost += result.stats.elapsed();
+                phases.record_launch(&result.stats);
+                break;
             }
 
-            phases.upload += cpu.launch_prep + upload;
-            phases.kernel += result.stats.launch_overhead + result.stats.device_time;
-            phases.readback += result.stats.readback_time;
-            phases.record_launch(&result.stats);
-
-            tracker.charge(host_cost + upload + result.stats.elapsed());
+            tracker.charge(iter_cost);
         }
 
         (trees, tracker, simulations, phases)

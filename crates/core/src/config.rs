@@ -1,7 +1,7 @@
 //! Search configuration and budgets.
 
 use crate::cost::CpuCostModel;
-use pmcts_util::SimTime;
+use pmcts_util::{FaultPlan, SimTime};
 
 /// How long a searcher may run.
 ///
@@ -39,6 +39,10 @@ pub struct MctsConfig {
     pub cpu_cost: CpuCostModel,
     /// How the final move is chosen from root statistics.
     pub final_move: FinalMoveRule,
+    /// Deterministic fault-injection schedule. [`FaultPlan::none`] (the
+    /// default) reproduces fault-free behaviour bit-for-bit: fault queries
+    /// draw from their own derived streams, never from the search RNGs.
+    pub faults: FaultPlan,
 }
 
 /// Rule for picking the move to play after search.
@@ -59,6 +63,7 @@ impl Default for MctsConfig {
             seed: 0x00C0_FFEE,
             cpu_cost: CpuCostModel::xeon_x5670(),
             final_move: FinalMoveRule::RobustChild,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -89,6 +94,12 @@ impl MctsConfig {
     /// Replaces the final-move rule.
     pub fn with_final_move(mut self, rule: FinalMoveRule) -> Self {
         self.final_move = rule;
+        self
+    }
+
+    /// Replaces the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

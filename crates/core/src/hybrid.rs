@@ -21,7 +21,7 @@ use crate::sequential::SequentialSearcher;
 use crate::telemetry::PhaseBreakdown;
 use crate::tree::SearchTree;
 use pmcts_games::Game;
-use pmcts_gpu_sim::{Device, LaunchConfig};
+use pmcts_gpu_sim::{Device, GpuFault, LaunchConfig};
 use pmcts_util::{SimTime, Xoshiro256pp};
 use std::sync::Arc;
 
@@ -81,6 +81,7 @@ impl<G: Game> Searcher<G> for HybridSearcher<G> {
             .max(SimTime::from_nanos(1));
 
         if !trees[0].node(0).is_terminal() {
+            let plan = self.config.faults;
             while tracker.may_continue() {
                 // Host-sequential: select/expand each tree and gather the
                 // frontier for the device.
@@ -105,8 +106,11 @@ impl<G: Game> Searcher<G> for HybridSearcher<G> {
                     frontier.iter().map(|&(_, s)| s).collect(),
                     self.next_stream_seed(),
                 ));
+                let fault = plan.gpu_fault(0x4B1D, self.epoch, self.launch.blocks);
                 let upload = self.device.spec().transfer_time(kernel.upload_bytes());
-                let pending = self.device.launch_async(kernel, self.launch);
+                let pending = self
+                    .device
+                    .launch_async_with_fault(kernel, self.launch, fault);
 
                 // CPU shadow work while the kernel flies: plain sequential
                 // MCTS iterations, round-robin over the same trees, bounded
@@ -132,35 +136,82 @@ impl<G: Game> Searcher<G> for HybridSearcher<G> {
                 }
 
                 let result = pending.wait();
-                for (b, tree) in trees.iter_mut().enumerate() {
-                    let lanes = &result.outputs[b * tpb..(b + 1) * tpb];
-                    let (wins_p1, n) = aggregate(lanes);
-                    tree.backprop(frontier[b].0, wins_p1, n);
-                    simulations += n;
-                    phases.simulations += n;
-                }
+                let kernel_elapsed = result.stats.elapsed();
+
+                // A hung kernel's outputs are void; instead of idling to the
+                // virtual deadline the CPU absorbs the stall by *extending*
+                // its shadow loop over the same trees, so the window still
+                // makes progress. Completed launches (possibly slowed,
+                // possibly with one aborted block) read back as usual.
+                let gpu_side = if result.fault == GpuFault::Hang {
+                    let deadline = plan.hang_deadline(kernel_elapsed);
+                    phases.faults.injected += 1;
+                    phases.faults.degraded += 1;
+                    let mut shadow = BudgetTracker::new(SearchBudget::VirtualTime(deadline));
+                    shadow.elapsed = shadow_elapsed;
+                    while shadow.elapsed + est_iter <= deadline {
+                        let before = shadow.elapsed;
+                        let tree = &mut trees[cpu_turn % blocks];
+                        simulations +=
+                            self.cpu_worker
+                                .one_iteration(tree, &mut shadow, &mut scratch);
+                        est_iter = (shadow.elapsed - before).max(SimTime::from_nanos(1));
+                        cpu_turn += 1;
+                    }
+                    scratch.shadow_iterations += shadow.iterations;
+                    shadow_elapsed = shadow.elapsed;
+                    deadline
+                } else {
+                    let voided = match result.fault {
+                        GpuFault::BlockAbort(bad) => {
+                            phases.faults.injected += 1;
+                            phases.faults.degraded += 1;
+                            Some(bad as usize)
+                        }
+                        fault => {
+                            if fault != GpuFault::None {
+                                phases.faults.injected += 1;
+                            }
+                            None
+                        }
+                    };
+                    for (b, tree) in trees.iter_mut().enumerate() {
+                        if Some(b) == voided {
+                            continue;
+                        }
+                        let lanes = &result.outputs[b * tpb..(b + 1) * tpb];
+                        let (wins_p1, n) = aggregate(lanes);
+                        tree.backprop(frontier[b].0, wins_p1, n);
+                        simulations += n;
+                        phases.simulations += n;
+                    }
+                    phases.record_launch(&result.stats);
+                    kernel_elapsed
+                };
 
                 // The CPU work overlapped the kernel: charge the longer of
                 // the two, plus the non-overlapped host-sequential parts.
                 // The breakdown charges the critical side's phases; the
                 // hidden side's time is recorded as `overlap_saved`.
-                let kernel_elapsed = result.stats.elapsed();
                 phases.upload += cpu.launch_prep + upload;
-                phases.record_launch(&result.stats);
-                if kernel_elapsed >= shadow_elapsed {
-                    phases.kernel += result.stats.launch_overhead + result.stats.device_time;
-                    phases.readback += result.stats.readback_time;
+                if gpu_side >= shadow_elapsed {
+                    if result.fault == GpuFault::Hang {
+                        phases.kernel += gpu_side;
+                    } else {
+                        phases.kernel += result.stats.launch_overhead + result.stats.device_time;
+                        phases.readback += result.stats.readback_time;
+                    }
                     phases.overlap_saved += shadow_elapsed;
                 } else {
                     phases.select += scratch.select;
                     phases.expand += scratch.expand;
                     phases.kernel += scratch.kernel;
-                    phases.overlap_saved += kernel_elapsed;
+                    phases.overlap_saved += gpu_side;
                 }
                 phases.shadow_overlap += shadow_elapsed;
                 phases.absorb_counters(&scratch);
 
-                let overlapped = kernel_elapsed.max(shadow_elapsed);
+                let overlapped = gpu_side.max(shadow_elapsed);
                 tracker.charge(host_cost + upload + overlapped);
                 kernel_estimate = Some(kernel_elapsed);
             }

@@ -13,8 +13,8 @@ use crate::gpu::{aggregate, PlayoutKernel};
 use crate::searcher::{BudgetTracker, SearchReport, Searcher};
 use crate::telemetry::PhaseBreakdown;
 use crate::tree::SearchTree;
-use pmcts_games::Game;
-use pmcts_gpu_sim::{Device, LaunchConfig};
+use pmcts_games::{random_playout, Game, Player};
+use pmcts_gpu_sim::{Device, GpuFault, LaunchConfig};
 use pmcts_util::Xoshiro256pp;
 
 /// Leaf-parallel GPU searcher.
@@ -83,6 +83,7 @@ impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
         let cpu = self.config.cpu_cost;
 
         if !tree.node(tree.root()).is_terminal() {
+            let plan = self.config.faults;
             while tracker.may_continue() {
                 // Selection + expansion on the host.
                 let selected = tree.select(self.config.exploration_c);
@@ -93,26 +94,85 @@ impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
                     selected
                 };
                 let depth = tree.node(node).depth;
-
-                // One kernel launch: the whole grid simulates this node.
-                let kernel =
-                    PlayoutKernel::new(vec![tree.node(node).state], self.next_stream_seed());
-                let upload = self.device.spec().transfer_time(kernel.upload_bytes());
-                let result = self.device.launch(&kernel, self.launch);
-                let (wins_p1, n) = aggregate(&result.outputs);
-                tree.backprop(node, wins_p1, n);
-                simulations += n;
-
                 phases.select += cpu.select_cost(depth);
                 phases.expand += cpu.expand_cost();
-                phases.upload += cpu.launch_prep + upload;
-                phases.kernel += result.stats.launch_overhead + result.stats.device_time;
-                phases.readback += result.stats.readback_time;
-                phases.simulations += n;
-                phases.record_launch(&result.stats);
+                let mut iter_cost = cpu.tree_op(depth);
 
-                tracker
-                    .charge(cpu.tree_op(depth) + cpu.launch_prep + upload + result.stats.elapsed());
+                // One kernel launch: the whole grid simulates this node. A
+                // launch that hangs past its virtual deadline is retried
+                // once with fresh stream randomness; a second hang degrades
+                // the iteration to one CPU playout so progress is always
+                // made.
+                let mut retried = false;
+                loop {
+                    let kernel =
+                        PlayoutKernel::new(vec![tree.node(node).state], self.next_stream_seed());
+                    let fault = plan.gpu_fault(self.stream, self.epoch, self.launch.blocks);
+                    let upload = self.device.spec().transfer_time(kernel.upload_bytes());
+                    let result = self.device.launch_with_fault(&kernel, self.launch, fault);
+                    phases.upload += cpu.launch_prep + upload;
+                    iter_cost += cpu.launch_prep + upload;
+
+                    if result.fault == GpuFault::Hang {
+                        // The host waits out the deadline; the launch's
+                        // outputs are void.
+                        let deadline = plan.hang_deadline(result.stats.elapsed());
+                        phases.kernel += deadline;
+                        iter_cost += deadline;
+                        phases.faults.injected += 1;
+                        if !retried {
+                            retried = true;
+                            phases.faults.retried += 1;
+                            continue;
+                        }
+                        let playout = random_playout(tree.node(node).state, &mut self.rng);
+                        let cost = cpu.playout(playout.plies);
+                        phases.kernel += cost;
+                        iter_cost += cost;
+                        tree.backprop(node, playout.reward_for(Player::P1), 1);
+                        simulations += 1;
+                        phases.simulations += 1;
+                        phases.faults.degraded += 1;
+                        break;
+                    }
+
+                    // Completed launch (possibly slowed, possibly with one
+                    // aborted block whose lane results are void).
+                    let (wins_p1, n) = match result.fault {
+                        GpuFault::BlockAbort(bad) => {
+                            phases.faults.injected += 1;
+                            phases.faults.degraded += 1;
+                            let tpb = self.launch.threads_per_block as usize;
+                            let mut wins = 0.0;
+                            let mut n = 0u64;
+                            for b in 0..self.launch.blocks as usize {
+                                if b == bad as usize {
+                                    continue;
+                                }
+                                let (w, c) = aggregate(&result.outputs[b * tpb..(b + 1) * tpb]);
+                                wins += w;
+                                n += c;
+                            }
+                            (wins, n)
+                        }
+                        fault => {
+                            if fault != GpuFault::None {
+                                phases.faults.injected += 1;
+                            }
+                            aggregate(&result.outputs)
+                        }
+                    };
+                    tree.backprop(node, wins_p1, n);
+                    simulations += n;
+                    phases.simulations += n;
+                    phases.kernel += result.stats.launch_overhead + result.stats.device_time;
+                    phases.readback += result.stats.readback_time;
+                    iter_cost += result.stats.elapsed();
+                    phases.record_launch(&result.stats);
+                    break;
+                }
+
+                tracker.charge(iter_cost);
             }
         }
 

@@ -82,5 +82,5 @@ pub mod prelude {
     pub use crate::tree_parallel::TreeParallelSearcher;
     pub use pmcts_games::{Connect4, Game, Hex7, Outcome, Player, Reversi, TicTacToe};
     pub use pmcts_gpu_sim::{Device, DeviceSpec, LaunchConfig};
-    pub use pmcts_util::SimTime;
+    pub use pmcts_util::{FaultCounters, FaultPlan, GpuFault, SimTime};
 }

@@ -10,8 +10,8 @@
 
 use crate::block_parallel::BlockParallelSearcher;
 use crate::config::{MctsConfig, SearchBudget};
-use crate::searcher::{SearchReport, Searcher};
-use crate::telemetry::{critical_index, PhaseBreakdown};
+use crate::searcher::{empty_report, SearchReport, Searcher};
+use crate::telemetry::{critical_index, rank_merge_cost, PhaseBreakdown};
 use crate::tree::{best_from_stats, merge_root_stats, RootStat};
 use pmcts_games::Game;
 use pmcts_gpu_sim::{Device, DeviceSpec, LaunchConfig, WorkerPool};
@@ -83,24 +83,39 @@ impl<G: Game> Searcher<G> for MultiGpuSearcher<G> {
         // host's cores are a single resource however many GPUs we simulate.
         let pool = Arc::clone(&self.pool);
 
-        type RankResult<M> = (SearchReport<M>, Vec<RootStat<M>>);
+        let plan = self.config.faults;
+        type RankResult<M> = (SearchReport<M>, Option<Vec<RootStat<M>>>);
         let per_rank: Vec<RankResult<G::Move>> = World::run(ranks, self.network, |comm| {
-            let device = Device::new_with_pool(spec.clone(), Arc::clone(&pool));
-            let stream = gen * ranks as u64 + comm.rank() as u64;
-            let mut searcher =
-                BlockParallelSearcher::<G>::with_stream(config.clone(), device, launch, stream);
-            let report = searcher.search(root, budget);
-            let merged =
-                comm.allreduce(report.root_stats.clone(), |a, b| merge_root_stats(&[a, b]));
+            // A dead rank produces nothing this search; it still joins the
+            // collectives (via the sparse allreduce) so nothing can hang.
+            // A live rank may have its contribution dropped by the network:
+            // it searched, but its statistics are excluded from the merge.
+            let rank = comm.rank() as u64;
+            let (report, contribution) = if plan.component_dead(gen, rank) {
+                (empty_report(), None)
+            } else {
+                let device = Device::new_with_pool(spec.clone(), Arc::clone(&pool));
+                let stream = gen * ranks as u64 + rank;
+                let mut searcher =
+                    BlockParallelSearcher::<G>::with_stream(config.clone(), device, launch, stream);
+                let report = searcher.search(root, budget);
+                let contribution = if plan.drops_contribution(gen, rank) {
+                    None
+                } else {
+                    Some(report.root_stats.clone())
+                };
+                (report, contribution)
+            };
+            let merged = comm.allreduce_sparse(contribution, |a, b| merge_root_stats(&[a, b]));
             (report, merged)
         });
 
-        let merged = per_rank[0].1.clone();
+        // Rank 0 is never dead and never dropped, so a merge always exists.
+        let merged = per_rank[0].1.clone().unwrap_or_default();
         // Every rank must agree after the allreduce.
-        debug_assert!(per_rank.iter().all(|(_, m)| *m == merged));
-
-        let stats_bytes = (merged.len() * std::mem::size_of::<RootStat<G::Move>>()) as u64;
-        let comm_cost = self.network.allreduce_time(stats_bytes, ranks);
+        debug_assert!(per_rank
+            .iter()
+            .all(|(_, m)| m.as_deref() == Some(&merged[..])));
 
         // Ranks run concurrently; the merge costs one allreduce. Phase
         // times follow the critical (slowest) rank plus the allreduce in
@@ -113,6 +128,11 @@ impl<G: Game> Searcher<G> for MultiGpuSearcher<G> {
         if let Some(i) = crit {
             phases.adopt_times(&per_rank[i].0.phases);
         }
+
+        let stats_bytes = (merged.len() * std::mem::size_of::<RootStat<G::Move>>()) as u64;
+        let comm_cost = rank_merge_cost(&plan, &mut phases, gen, ranks, || {
+            self.network.allreduce_time(stats_bytes, ranks)
+        });
         phases.merge += comm_cost;
 
         SearchReport {

@@ -11,8 +11,8 @@
 
 use crate::config::{MctsConfig, SearchBudget};
 use crate::root_parallel::RootParallelSearcher;
-use crate::searcher::{SearchReport, Searcher};
-use crate::telemetry::{critical_index, PhaseBreakdown};
+use crate::searcher::{empty_report, SearchReport, Searcher};
+use crate::telemetry::{critical_index, rank_merge_cost, PhaseBreakdown};
 use crate::tree::{best_from_stats, merge_root_stats, RootStat};
 use pmcts_games::Game;
 use pmcts_mpi_sim::{NetworkModel, World};
@@ -70,21 +70,33 @@ impl<G: Game> Searcher<G> for MultiNodeCpuSearcher<G> {
             .div_ceil(ranks)
             .max(1);
 
-        type RankResult<M> = (SearchReport<M>, Vec<RootStat<M>>);
+        let plan = self.config.faults;
+        type RankResult<M> = (SearchReport<M>, Option<Vec<RootStat<M>>>);
         let per_rank: Vec<RankResult<G::Move>> = World::run(ranks, self.network, |comm| {
-            let stream_base = (gen * ranks as u64 + comm.rank() as u64) << 20;
-            let mut searcher =
-                RootParallelSearcher::<G>::with_stream(config.clone(), tpr, stream_base)
-                    .with_workers(workers_per_rank);
-            let report = searcher.search(root, budget);
-            let merged =
-                comm.allreduce(report.root_stats.clone(), |a, b| merge_root_stats(&[a, b]));
+            // Dead and contribution-dropped ranks behave exactly as in the
+            // multi-GPU searcher: the sparse allreduce merges survivors.
+            let rank = comm.rank() as u64;
+            let (report, contribution) = if plan.component_dead(gen, rank) {
+                (empty_report(), None)
+            } else {
+                let stream_base = (gen * ranks as u64 + rank) << 20;
+                let mut searcher =
+                    RootParallelSearcher::<G>::with_stream(config.clone(), tpr, stream_base)
+                        .with_workers(workers_per_rank);
+                let report = searcher.search(root, budget);
+                let contribution = if plan.drops_contribution(gen, rank) {
+                    None
+                } else {
+                    Some(report.root_stats.clone())
+                };
+                (report, contribution)
+            };
+            let merged = comm.allreduce_sparse(contribution, |a, b| merge_root_stats(&[a, b]));
             (report, merged)
         });
 
-        let merged = per_rank[0].1.clone();
-        let stats_bytes = (merged.len() * std::mem::size_of::<RootStat<G::Move>>()) as u64;
-        let comm_cost = self.network.allreduce_time(stats_bytes, ranks);
+        // Rank 0 is never dead and never dropped, so a merge always exists.
+        let merged = per_rank[0].1.clone().unwrap_or_default();
 
         // Same critical-path convention as the multi-GPU searcher: the
         // slowest rank's phases + the allreduce in `merge` sum to elapsed.
@@ -96,6 +108,11 @@ impl<G: Game> Searcher<G> for MultiNodeCpuSearcher<G> {
         if let Some(i) = crit {
             phases.adopt_times(&per_rank[i].0.phases);
         }
+
+        let stats_bytes = (merged.len() * std::mem::size_of::<RootStat<G::Move>>()) as u64;
+        let comm_cost = rank_merge_cost(&plan, &mut phases, gen, ranks, || {
+            self.network.allreduce_time(stats_bytes, ranks)
+        });
         phases.merge += comm_cost;
 
         SearchReport {

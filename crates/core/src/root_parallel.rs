@@ -11,7 +11,7 @@
 //! virtual budget, because the real threads run concurrently.
 
 use crate::config::{MctsConfig, SearchBudget};
-use crate::searcher::{SearchReport, Searcher};
+use crate::searcher::{empty_report, SearchReport, Searcher};
 use crate::sequential::SequentialSearcher;
 use crate::telemetry::{critical_index, PhaseBreakdown};
 use crate::tree::{best_from_stats, merge_root_stats};
@@ -98,6 +98,11 @@ impl<G: Game> Searcher<G> for RootParallelSearcher<G> {
         // merged at the end (no communication — exactly the paper's
         // scheme). Results are keyed by tree index, so merge order — and
         // hence the report — is identical for any pool size.
+        // Dead-tree faults are keyed per (stream base, generation), so each
+        // search draws a fresh schedule; tree 0 is never dead, so a merge
+        // survivor always exists.
+        let plan = config.faults;
+        let fault_key = base ^ gen.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let next = std::sync::atomic::AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, SearchReport<G::Move>)>> =
             Mutex::new(Vec::with_capacity(trees));
@@ -108,6 +113,10 @@ impl<G: Game> Searcher<G> for RootParallelSearcher<G> {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= trees {
                     break;
+                }
+                if plan.component_dead(fault_key, i as u64) {
+                    mine.push((i, empty_report()));
+                    continue;
                 }
                 let stream = base
                     .wrapping_add(i as u64)
@@ -141,6 +150,13 @@ impl<G: Game> Searcher<G> for RootParallelSearcher<G> {
         let mut phases = PhaseBreakdown::new();
         for r in &reports {
             phases.absorb_counters(&r.phases);
+        }
+        // Count dead trees by re-querying the pure plan (no search state).
+        for i in 0..trees as u64 {
+            if plan.component_dead(fault_key, i) {
+                phases.faults.injected += 1;
+                phases.faults.excluded += 1;
+            }
         }
         let crit = critical_index(reports.iter().map(|r| r.elapsed));
         if let Some(i) = crit {

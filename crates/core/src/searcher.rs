@@ -48,6 +48,21 @@ impl<M> SearchReport<M> {
     }
 }
 
+/// The report of a component (rank, tree) that was dead for the whole
+/// search: no move, no work, zero elapsed time.
+pub(crate) fn empty_report<M>() -> SearchReport<M> {
+    SearchReport {
+        best_move: None,
+        simulations: 0,
+        iterations: 0,
+        tree_nodes: 0,
+        max_depth: 0,
+        elapsed: SimTime::ZERO,
+        root_stats: Vec::new(),
+        phases: PhaseBreakdown::default(),
+    }
+}
+
 /// A move-search algorithm.
 ///
 /// Searchers are stateful only in their RNG streams: two `search` calls on

@@ -32,7 +32,7 @@
 //! every component.
 
 use pmcts_gpu_sim::KernelStats;
-use pmcts_util::SimTime;
+use pmcts_util::{FaultCounters, FaultPlan, SimTime};
 
 /// Exact per-phase decomposition of one search's virtual time, plus
 /// work counters and folded kernel statistics.
@@ -86,6 +86,11 @@ pub struct PhaseBreakdown {
     /// Sum of per-launch occupancy values; divide by `kernel_launches`
     /// for the mean (see [`mean_occupancy`](Self::mean_occupancy)).
     pub occupancy_sum: f64,
+
+    /// Injected faults and the responses they triggered (summed over all
+    /// components, like the other counters). All-zero under
+    /// [`FaultPlan::none`](pmcts_util::FaultPlan::none).
+    pub faults: FaultCounters,
 }
 
 impl PhaseBreakdown {
@@ -162,6 +167,7 @@ impl PhaseBreakdown {
         self.occupancy_sum += other.occupancy_sum;
         self.shadow_overlap += other.shadow_overlap;
         self.overlap_saved += other.overlap_saved;
+        self.faults.absorb(&other.faults);
     }
 
     /// Copies `other`'s phase *times* into `self` (critical-path component
@@ -173,6 +179,39 @@ impl PhaseBreakdown {
         self.kernel = other.kernel;
         self.readback = other.readback;
         self.merge = other.merge;
+    }
+}
+
+/// Host-side fault accounting for one cross-rank statistics merge.
+///
+/// Re-queries the pure fault plan to count dead and contribution-dropping
+/// ranks (each is one injected + one excluded fault), then prices the
+/// allreduce: the detection *timeout* when any rank failed, a delay-spiked
+/// cost when the network schedule says so, the base cost otherwise. Under
+/// [`FaultPlan::none`] this returns exactly `base()` and touches nothing.
+pub(crate) fn rank_merge_cost(
+    plan: &FaultPlan,
+    phases: &mut PhaseBreakdown,
+    key: u64,
+    ranks: usize,
+    base: impl FnOnce() -> SimTime,
+) -> SimTime {
+    let mut failed = false;
+    for rank in 0..ranks as u64 {
+        if plan.component_dead(key, rank) || plan.drops_contribution(key, rank) {
+            phases.faults.injected += 1;
+            phases.faults.excluded += 1;
+            failed = true;
+        }
+    }
+    let base = base();
+    if failed {
+        plan.net_timeout(base)
+    } else if let Some(factor) = plan.net_delay_spike(key, 0) {
+        phases.faults.injected += 1;
+        base * factor as u64
+    } else {
+        base
     }
 }
 

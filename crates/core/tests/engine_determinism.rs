@@ -179,6 +179,94 @@ fn multi_node_cpu_identical_across_runs() {
     assert_eq!(run(), run());
 }
 
+// ---- 3. Fault schedules identical across host-thread counts --------------
+
+/// A mixed plan where every fault class has a real chance to fire.
+fn mixed_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        gpu_slowdown_rate: 0.2,
+        gpu_slowdown_factor: 3,
+        gpu_hang_rate: 0.2,
+        gpu_abort_rate: 0.2,
+        net_delay_rate: 0.5,
+        net_delay_factor: 3,
+        net_drop_rate: 0.3,
+        dead_component_rate: 0.3,
+        ..FaultPlan::none()
+    }
+}
+
+#[test]
+fn leaf_parallel_with_faults_identical_across_host_threads() {
+    assert_reports_identical("leaf+faults", SearchBudget::Iterations(10), |t| {
+        Box::new(LeafParallelSearcher::new(
+            cfg(31).with_faults(mixed_plan(41)),
+            device(t),
+            LaunchConfig::new(2, 32),
+        ))
+    });
+}
+
+#[test]
+fn block_parallel_with_faults_identical_across_host_threads() {
+    assert_reports_identical("block+faults", SearchBudget::Iterations(8), |t| {
+        Box::new(BlockParallelSearcher::new(
+            cfg(32).with_faults(mixed_plan(42)),
+            device(t),
+            LaunchConfig::new(4, 32),
+        ))
+    });
+}
+
+#[test]
+fn hybrid_with_faults_identical_across_host_threads() {
+    assert_reports_identical("hybrid+faults", SearchBudget::Iterations(8), |t| {
+        Box::new(HybridSearcher::new(
+            cfg(33).with_faults(mixed_plan(43)),
+            device(t),
+            LaunchConfig::new(2, 32),
+        ))
+    });
+}
+
+#[test]
+fn root_parallel_with_faults_identical_across_host_threads() {
+    assert_reports_identical("root+faults", SearchBudget::Iterations(20), |t| {
+        Box::new(RootParallelSearcher::new(cfg(34).with_faults(mixed_plan(44)), 8).with_workers(t))
+    });
+}
+
+#[test]
+fn multi_gpu_with_faults_identical_across_host_threads() {
+    assert_reports_identical("multi-gpu+faults", SearchBudget::Iterations(3), |t| {
+        Box::new(
+            MultiGpuSearcher::new(
+                cfg(35).with_faults(mixed_plan(45)),
+                3,
+                DeviceSpec::tesla_c2050(),
+                LaunchConfig::new(2, 32),
+                NetworkModel::infiniband(),
+            )
+            .with_pool(Arc::new(WorkerPool::new(t))),
+        )
+    });
+}
+
+#[test]
+fn multi_node_cpu_with_faults_identical_across_runs() {
+    let run = || {
+        MultiNodeCpuSearcher::<Reversi>::new(
+            cfg(36).with_faults(mixed_plan(46)),
+            2,
+            4,
+            NetworkModel::infiniband(),
+        )
+        .search(Reversi::initial(), SearchBudget::Iterations(10))
+    };
+    assert_eq!(run(), run());
+}
+
 #[test]
 fn sequential_and_persistent_identical_across_runs() {
     let seq = || {

@@ -51,3 +51,5 @@ pub use kernel::{Kernel, LaunchConfig, ThreadId};
 pub use launch::{LaunchResult, PendingLaunch};
 pub use pool::WorkerPool;
 pub use stats::KernelStats;
+// Fault type shared with the plan layer in `pmcts-util`.
+pub use pmcts_util::GpuFault;

@@ -218,6 +218,30 @@ impl Comm {
         self.broadcast(0, reduced)
     }
 
+    /// Allreduce over the ranks that have something to contribute.
+    ///
+    /// Every rank participates in the collective (so no rank can deadlock
+    /// waiting for a peer that has nothing to say), but a rank may pass
+    /// `None` — a dead rank's stand-in, or a contribution lost in transit.
+    /// The surviving values are folded in ascending rank order and the fold
+    /// is broadcast back; returns `None` only if *every* rank passed `None`.
+    ///
+    /// This is the degraded-mode collective behind the fault-tolerant
+    /// multi-GPU / multi-node searchers: merged root statistics stay
+    /// additive over exactly the surviving contributors.
+    pub fn allreduce_sparse<T, F>(&self, value: Option<T>, fold: F) -> Option<T>
+    where
+        T: Clone + Send + 'static,
+        F: FnMut(T, T) -> T,
+    {
+        let gathered = self.gather(0, value);
+        let reduced = gathered.map(|parts| {
+            let mut iter = parts.into_iter().flatten();
+            iter.next().map(|first| iter.fold(first, fold))
+        });
+        self.broadcast(0, reduced)
+    }
+
     /// Combined send+receive with one partner (deadlock-free even when both
     /// sides target each other, because sends never block).
     pub fn sendrecv<T: Send + 'static, U: Send + 'static>(

@@ -136,6 +136,47 @@ mod tests {
     }
 
     #[test]
+    fn allreduce_sparse_folds_survivors_in_rank_order() {
+        // Rank 2 contributes nothing; non-commutative fold proves ordering
+        // over exactly the survivors.
+        let out = World::run(4, ideal(), |comm| {
+            let v = (comm.rank() != 2).then(|| comm.rank().to_string());
+            comm.allreduce_sparse(v, |a, b| a + &b)
+        });
+        assert_eq!(out, vec![Some("013".to_string()); 4]);
+    }
+
+    #[test]
+    fn allreduce_sparse_with_all_contributors_matches_allreduce() {
+        let out = World::run(5, ideal(), |comm| {
+            let dense = comm.allreduce(comm.rank() as u64, |a, b| a + b);
+            let sparse = comm.allreduce_sparse(Some(comm.rank() as u64), |a, b| a + b);
+            (dense, sparse)
+        });
+        for (dense, sparse) in out {
+            assert_eq!(sparse, Some(dense));
+        }
+    }
+
+    #[test]
+    fn allreduce_sparse_with_no_contributors_is_none() {
+        let out = World::run(3, ideal(), |comm| {
+            comm.allreduce_sparse(None::<u32>, |a, b| a + b)
+        });
+        assert_eq!(out, vec![None; 3]);
+    }
+
+    #[test]
+    fn allreduce_sparse_survives_dead_root_contribution() {
+        // Rank 0 coordinates the collective but contributes nothing.
+        let out = World::run(3, ideal(), |comm| {
+            let v = (comm.rank() != 0).then_some(1u32);
+            comm.allreduce_sparse(v, |a, b| a + b)
+        });
+        assert_eq!(out, vec![Some(2); 3]);
+    }
+
+    #[test]
     fn gather_in_rank_order() {
         let out = World::run(4, ideal(), |comm| comm.gather(1, comm.rank() as u32 * 2));
         assert_eq!(out[1], Some(vec![0, 2, 4, 6]));

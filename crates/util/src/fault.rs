@@ -1,0 +1,424 @@
+//! Seed-derived deterministic fault injection.
+//!
+//! A [`FaultPlan`] turns the experiment seed into per-component fault
+//! *schedules*: whether a given kernel launch hangs, whether a given MPI
+//! rank is dead, whether an allreduce round hits a delay spike. Every query
+//! is a pure function of `(plan.seed, component key, event index)` hashed
+//! through [`SplitMix64::derive`], so the schedule is identical no matter
+//! how many host threads execute the search or in which order components
+//! are polled — faults preserve the workspace's bit-identity invariant.
+//!
+//! The plan only *decides* faults; the response policies live with the
+//! components (`gpu-sim` applies kernel slowdowns, the searchers in
+//! `pmcts-core` retry/degrade/exclude). [`FaultCounters`] is the shared
+//! telemetry ledger those policies fill in.
+//!
+//! Component index 0 (rank 0, tree 0) is never killed and never drops its
+//! contribution: a quorum of one always survives, so every search under
+//! every plan still produces a best move.
+
+use crate::rng::{Rng64, SplitMix64};
+use crate::time::SimTime;
+
+/// Domain-separation salts, one per fault class, so e.g. the hang schedule
+/// of launch 3 is independent of the delay schedule of round 3.
+const SALT_GPU: u64 = 0xFA01_7AB1_E000_0001;
+const SALT_NET_DELAY: u64 = 0xFA01_7AB1_E000_0002;
+const SALT_NET_DROP: u64 = 0xFA01_7AB1_E000_0003;
+const SALT_DEAD: u64 = 0xFA01_7AB1_E000_0004;
+
+/// The fault, if any, injected into one kernel launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GpuFault {
+    /// The launch executed normally.
+    #[default]
+    None,
+    /// The kernel ran `factor`× slower than the cost model predicts
+    /// (thermal throttling, ECC scrubbing, a contending tenant).
+    Slowdown(u32),
+    /// The kernel never signals completion within any deadline; its
+    /// results are unusable and the host must recover.
+    Hang,
+    /// One block aborted (the paper's kernels have no ECC recovery);
+    /// the block's lane results are void, the rest are usable.
+    BlockAbort(u32),
+}
+
+/// Telemetry for injected faults and the responses they triggered.
+///
+/// Lives next to the phase times in `PhaseBreakdown`-style reports; like
+/// the other counters it is summed over concurrent components.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Faults the plan injected into this search (all classes).
+    pub injected: u64,
+    /// Kernel launches retried after a hang.
+    pub retried: u64,
+    /// Work units degraded to a fallback path (CPU playouts after a
+    /// double hang, voided blocks after an abort, discarded hung-kernel
+    /// results).
+    pub degraded: u64,
+    /// Components excluded from the merged result (dead ranks, dropped
+    /// allreduce contributions, dead trees).
+    pub excluded: u64,
+}
+
+impl FaultCounters {
+    /// Whether any fault activity was recorded.
+    pub fn any(&self) -> bool {
+        self.injected + self.retried + self.degraded + self.excluded > 0
+    }
+
+    /// Adds `other` into `self` (component summation).
+    pub fn absorb(&mut self, other: &FaultCounters) {
+        self.injected += other.injected;
+        self.retried += other.retried;
+        self.degraded += other.degraded;
+        self.excluded += other.excluded;
+    }
+}
+
+/// A deterministic fault-injection schedule derived from a seed.
+///
+/// Rates are per-event probabilities in `[0, 1]`: `gpu_*` rates apply per
+/// kernel launch, `net_delay_rate` per collective, `net_drop_rate` and
+/// `dead_component_rate` per component per search. The default plan (and
+/// [`FaultPlan::none`]) injects nothing and reproduces fault-free behaviour
+/// bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault schedule (independent of the search seed so the
+    /// same game can be replayed under different fault weather).
+    pub seed: u64,
+    /// Probability a launch runs `gpu_slowdown_factor`× slow.
+    pub gpu_slowdown_rate: f64,
+    /// Multiplier applied to a slowed kernel's device time (≥ 2).
+    pub gpu_slowdown_factor: u32,
+    /// Probability a launch hangs past every deadline.
+    pub gpu_hang_rate: f64,
+    /// Probability a launch aborts one block.
+    pub gpu_abort_rate: f64,
+    /// Probability a collective hits a delay spike.
+    pub net_delay_rate: f64,
+    /// Multiplier applied to a delayed collective (≥ 2, capped by
+    /// `net_timeout_mult`).
+    pub net_delay_factor: u32,
+    /// Probability a component's allreduce contribution is dropped.
+    pub net_drop_rate: f64,
+    /// Probability a component (rank, tree) is dead for the whole search.
+    pub dead_component_rate: f64,
+    /// Kernel deadline as a multiple of the kernel's own virtual duration:
+    /// the host declares a hang after waiting this many kernel-lengths.
+    pub hang_deadline_mult: u32,
+    /// Collective timeout as a multiple of the fault-free allreduce time:
+    /// missing contributions are excluded after this long.
+    pub net_timeout_mult: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, behaviour bit-identical to a build
+    /// without fault injection.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            gpu_slowdown_rate: 0.0,
+            gpu_slowdown_factor: 4,
+            gpu_hang_rate: 0.0,
+            gpu_abort_rate: 0.0,
+            net_delay_rate: 0.0,
+            net_delay_factor: 4,
+            net_drop_rate: 0.0,
+            dead_component_rate: 0.0,
+            hang_deadline_mult: 2,
+            net_timeout_mult: 4,
+        }
+    }
+
+    /// Kernel slowdowns: each launch runs `factor`× slow with probability
+    /// `rate`.
+    pub fn gpu_slowdown(seed: u64, rate: f64, factor: u32) -> Self {
+        FaultPlan {
+            seed,
+            gpu_slowdown_rate: rate,
+            gpu_slowdown_factor: factor.max(2),
+            ..Self::none()
+        }
+    }
+
+    /// Kernel hangs: each launch hangs with probability `rate`.
+    pub fn gpu_hang(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            gpu_hang_rate: rate,
+            ..Self::none()
+        }
+    }
+
+    /// Block aborts: each launch voids one block with probability `rate`.
+    pub fn gpu_abort(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            gpu_abort_rate: rate,
+            ..Self::none()
+        }
+    }
+
+    /// Network delay spikes: each collective runs `factor`× slow with
+    /// probability `rate`.
+    pub fn net_delay(seed: u64, rate: f64, factor: u32) -> Self {
+        FaultPlan {
+            seed,
+            net_delay_rate: rate,
+            net_delay_factor: factor.max(2),
+            ..Self::none()
+        }
+    }
+
+    /// Dropped contributions: each non-zero component's allreduce payload
+    /// is lost with probability `rate`.
+    pub fn net_drop(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            net_drop_rate: rate,
+            ..Self::none()
+        }
+    }
+
+    /// Dead components: each non-zero component is dead for the whole
+    /// search with probability `rate`.
+    pub fn dead_component(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            dead_component_rate: rate,
+            ..Self::none()
+        }
+    }
+
+    /// Whether this plan can inject anything at all (fast-path guard).
+    pub fn active(&self) -> bool {
+        self.gpu_slowdown_rate > 0.0
+            || self.gpu_hang_rate > 0.0
+            || self.gpu_abort_rate > 0.0
+            || self.net_delay_rate > 0.0
+            || self.net_drop_rate > 0.0
+            || self.dead_component_rate > 0.0
+    }
+
+    /// Whether any GPU-fault class is enabled.
+    pub fn gpu_active(&self) -> bool {
+        self.gpu_slowdown_rate > 0.0 || self.gpu_hang_rate > 0.0 || self.gpu_abort_rate > 0.0
+    }
+
+    /// One schedule draw: an independent generator for event `index` of
+    /// component `key` under `salt`'s fault class.
+    fn draw(&self, salt: u64, key: u64, index: u64) -> SplitMix64 {
+        SplitMix64::derive(
+            self.seed ^ salt,
+            key.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(index),
+        )
+    }
+
+    /// The fault (if any) for kernel launch number `epoch` of the component
+    /// identified by `key`, over a grid of `blocks` blocks. Classes are
+    /// mutually exclusive per launch: hang, then abort, then slowdown.
+    pub fn gpu_fault(&self, key: u64, epoch: u64, blocks: u32) -> GpuFault {
+        if !self.gpu_active() {
+            return GpuFault::None;
+        }
+        let mut rng = self.draw(SALT_GPU, key, epoch);
+        let u = rng.next_f64();
+        if u < self.gpu_hang_rate {
+            GpuFault::Hang
+        } else if u < self.gpu_hang_rate + self.gpu_abort_rate {
+            GpuFault::BlockAbort(rng.next_below(blocks.max(1)))
+        } else if u < self.gpu_hang_rate + self.gpu_abort_rate + self.gpu_slowdown_rate {
+            GpuFault::Slowdown(self.gpu_slowdown_factor.max(2))
+        } else {
+            GpuFault::None
+        }
+    }
+
+    /// Delay multiplier (capped at `net_timeout_mult`) for collective
+    /// `round` of component group `key`, or `None` for a fault-free round.
+    pub fn net_delay_spike(&self, key: u64, round: u64) -> Option<u32> {
+        if self.net_delay_rate <= 0.0 {
+            return None;
+        }
+        let mut rng = self.draw(SALT_NET_DELAY, key, round);
+        rng.next_bool(self.net_delay_rate).then(|| {
+            self.net_delay_factor
+                .max(2)
+                .min(self.net_timeout_mult.max(2))
+        })
+    }
+
+    /// Whether component `component` of group `key` loses its allreduce
+    /// contribution this search. Component 0 never does.
+    pub fn drops_contribution(&self, key: u64, component: u64) -> bool {
+        if component == 0 || self.net_drop_rate <= 0.0 {
+            return false;
+        }
+        self.draw(SALT_NET_DROP, key, component)
+            .next_bool(self.net_drop_rate)
+    }
+
+    /// Whether component `component` of group `key` is dead for the whole
+    /// search. Component 0 never is.
+    pub fn component_dead(&self, key: u64, component: u64) -> bool {
+        if component == 0 || self.dead_component_rate <= 0.0 {
+            return false;
+        }
+        self.draw(SALT_DEAD, key, component)
+            .next_bool(self.dead_component_rate)
+    }
+
+    /// Virtual-time deadline after which a kernel of fault-free duration
+    /// `elapsed` is declared hung.
+    pub fn hang_deadline(&self, elapsed: SimTime) -> SimTime {
+        elapsed * self.hang_deadline_mult.max(1) as u64
+    }
+
+    /// Virtual-time timeout charged when a collective of fault-free
+    /// duration `base` waits for a contribution that never arrives.
+    pub fn net_timeout(&self, base: SimTime) -> SimTime {
+        base * self.net_timeout_mult.max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(!p.active());
+        assert_eq!(p.gpu_fault(7, 3, 16), GpuFault::None);
+        assert_eq!(p.net_delay_spike(7, 3), None);
+        assert!(!p.drops_contribution(7, 3));
+        assert!(!p.component_dead(7, 3));
+    }
+
+    #[test]
+    fn queries_are_pure_functions_of_inputs() {
+        let p = FaultPlan::gpu_hang(42, 0.5);
+        for epoch in 0..64 {
+            assert_eq!(p.gpu_fault(1, epoch, 8), p.gpu_fault(1, epoch, 8));
+        }
+        let q = FaultPlan::dead_component(42, 0.5);
+        for c in 0..64 {
+            assert_eq!(q.component_dead(9, c), q.component_dead(9, c));
+        }
+    }
+
+    #[test]
+    fn rate_one_always_fires_rate_zero_never() {
+        let always = FaultPlan::gpu_hang(1, 1.0);
+        let never = FaultPlan::gpu_hang(1, 0.0);
+        for epoch in 0..32 {
+            assert_eq!(always.gpu_fault(0, epoch, 4), GpuFault::Hang);
+            assert_eq!(never.gpu_fault(0, epoch, 4), GpuFault::None);
+        }
+    }
+
+    #[test]
+    fn gpu_fault_rate_is_roughly_honoured() {
+        let p = FaultPlan::gpu_abort(3, 0.25);
+        let fired = (0..10_000)
+            .filter(|&e| p.gpu_fault(0, e, 8) != GpuFault::None)
+            .count();
+        let frac = fired as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "abort rate {frac}");
+    }
+
+    #[test]
+    fn abort_block_is_in_range() {
+        let p = FaultPlan::gpu_abort(4, 1.0);
+        for epoch in 0..100 {
+            match p.gpu_fault(0, epoch, 6) {
+                GpuFault::BlockAbort(b) => assert!(b < 6),
+                other => panic!("expected abort, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn component_zero_is_immortal() {
+        let p = FaultPlan::dead_component(5, 1.0);
+        assert!(!p.component_dead(99, 0));
+        assert!(p.component_dead(99, 1));
+        let q = FaultPlan::net_drop(5, 1.0);
+        assert!(!q.drops_contribution(99, 0));
+        assert!(q.drops_contribution(99, 1));
+    }
+
+    #[test]
+    fn classes_use_independent_schedules() {
+        // Same (key, index) under different classes must not be lockstep.
+        let p = FaultPlan {
+            seed: 6,
+            net_drop_rate: 0.5,
+            dead_component_rate: 0.5,
+            ..FaultPlan::none()
+        };
+        let drops: Vec<bool> = (1..64).map(|c| p.drops_contribution(0, c)).collect();
+        let dead: Vec<bool> = (1..64).map(|c| p.component_dead(0, c)).collect();
+        assert_ne!(drops, dead);
+    }
+
+    #[test]
+    fn seeds_decorrelate_schedules() {
+        let a = FaultPlan::gpu_hang(1, 0.5);
+        let b = FaultPlan::gpu_hang(2, 0.5);
+        let fa: Vec<GpuFault> = (0..64).map(|e| a.gpu_fault(0, e, 4)).collect();
+        let fb: Vec<GpuFault> = (0..64).map(|e| b.gpu_fault(0, e, 4)).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn deadline_and_timeout_multiply() {
+        let p = FaultPlan::none(); // mults 2 and 4
+        assert_eq!(
+            p.hang_deadline(SimTime::from_micros(10)),
+            SimTime::from_micros(20)
+        );
+        assert_eq!(
+            p.net_timeout(SimTime::from_micros(10)),
+            SimTime::from_micros(40)
+        );
+    }
+
+    #[test]
+    fn delay_spike_is_capped_by_timeout() {
+        let mut p = FaultPlan::net_delay(7, 1.0, 100);
+        p.net_timeout_mult = 4;
+        assert_eq!(p.net_delay_spike(0, 0), Some(4));
+        p.net_delay_factor = 3;
+        assert_eq!(p.net_delay_spike(0, 0), Some(3));
+    }
+
+    #[test]
+    fn counters_absorb_and_any() {
+        let mut a = FaultCounters::default();
+        assert!(!a.any());
+        let b = FaultCounters {
+            injected: 2,
+            retried: 1,
+            degraded: 3,
+            excluded: 4,
+        };
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.injected, 4);
+        assert_eq!(a.retried, 2);
+        assert_eq!(a.degraded, 6);
+        assert_eq!(a.excluded, 8);
+        assert!(a.any());
+    }
+}

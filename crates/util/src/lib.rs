@@ -20,14 +20,19 @@
 //! * [`array_vec`] — a fixed-capacity vector used for move lists (Reversi
 //!   never has more than 33 legal moves; avoiding heap allocation in move
 //!   generation is the single most important playout optimisation).
+//! * [`fault`] — [`fault::FaultPlan`], seed-derived deterministic fault
+//!   schedules (GPU hangs/slowdowns/block aborts, network delays/drops/dead
+//!   ranks) that the simulated device, network, and searchers consult.
 
 pub mod array_vec;
+pub mod fault;
 pub mod histogram;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use array_vec::ArrayVec;
+pub use fault::{FaultCounters, FaultPlan, GpuFault};
 pub use histogram::Histogram;
 pub use rng::{Rng64, SplitMix64, Xoshiro256pp};
 pub use stats::{OnlineStats, Series, WinLoss};

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate bench artifacts (CI gate, also usable locally).
+
+Usage:
+    scripts/check_bench.py FILE [FILE ...]
+        Validate each artifact; the check set is chosen by file name:
+          profile.json           phase ledger + wall-clock fields
+          BENCH_throughput.json  engine speedup gate (>= 1.5x vs lockstep)
+          fault_matrix.json      every cell degraded gracefully
+          divergence_report.txt  per-phase efficiency table parses
+
+    scripts/check_bench.py --canon FILE
+        Print the file's canonical form to stdout: JSON with the
+        wall-clock-dependent fields (wall_ns, playouts_per_sec) stripped
+        and keys sorted. Two runs of the same experiment with the same
+        seed must produce identical canonical forms — diff them.
+
+Exits non-zero with a message on the first failed check.
+"""
+
+import json
+import os
+import re
+import sys
+
+PHASE_FIELDS = [
+    "select_ns",
+    "expand_ns",
+    "upload_ns",
+    "kernel_ns",
+    "readback_ns",
+    "merge_ns",
+]
+FAULT_FIELDS = [
+    "faults_injected",
+    "faults_retried",
+    "faults_degraded",
+    "faults_excluded",
+]
+WALL_FIELDS = ["wall_ns", "playouts_per_sec"]
+MIN_ENGINE_SPEEDUP = 1.5
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_phase_ledger(rec, where):
+    for f in PHASE_FIELDS + FAULT_FIELDS + ["scheme", "elapsed_ns"]:
+        if f not in rec:
+            fail(f"{where}: missing field {f!r}")
+    phase_sum = sum(rec[f] for f in PHASE_FIELDS)
+    if phase_sum != rec["elapsed_ns"]:
+        fail(
+            f"{where}: phase sum {phase_sum} != elapsed_ns {rec['elapsed_ns']}"
+            " (exact identity required)"
+        )
+
+
+def check_profile(path):
+    data = json.load(open(path))
+    if not data:
+        fail(f"{path}: no records")
+    for i, rec in enumerate(data):
+        where = f"{path}[{i}] ({rec.get('scheme', '?')})"
+        check_phase_ledger(rec, where)
+        for f in WALL_FIELDS:
+            if f not in rec:
+                fail(f"{where}: missing wall-clock field {f!r}")
+        # The profile runs no fault plan: all counters must be zero.
+        for f in FAULT_FIELDS:
+            if rec[f] != 0:
+                fail(f"{where}: {f} = {rec[f]} but no faults were injected")
+    print(f"check_bench: OK: {path}: {len(data)} records, ledger exact")
+
+
+def check_throughput(path):
+    data = json.load(open(path))
+    summary = next((r for r in data if r.get("record") == "summary"), None)
+    if summary is None:
+        fail(f"{path}: no summary record")
+    speedup = summary.get("kernel_speedup_vs_lockstep")
+    if speedup is None:
+        fail(f"{path}: summary lacks kernel_speedup_vs_lockstep")
+    if speedup < MIN_ENGINE_SPEEDUP:
+        fail(
+            f"{path}: engine regressed to {speedup:.2f}x vs lockstep"
+            f" (gate: >= {MIN_ENGINE_SPEEDUP}x)"
+        )
+    print(f"check_bench: OK: {path}: engine {speedup:.2f}x vs lockstep")
+
+
+def check_fault_matrix(path):
+    data = json.load(open(path))
+    if not data:
+        fail(f"{path}: no cells")
+    classes = {}
+    for i, rec in enumerate(data):
+        where = f"{path}[{i}] ({rec.get('scheme', '?')}/{rec.get('fault_class', '?')})"
+        check_phase_ledger(rec, where)
+        if not rec.get("best_move"):
+            fail(f"{where}: cell produced no best move")
+        if "fault_class" not in rec:
+            fail(f"{where}: missing fault_class")
+        for f in WALL_FIELDS:
+            if f in rec:
+                fail(f"{where}: wall-clock field {f!r} breaks determinism diffing")
+        cls = classes.setdefault(rec["fault_class"], {"cells": 0, "injected": 0})
+        cls["cells"] += 1
+        cls["injected"] += rec["faults_injected"]
+    if "none" not in classes:
+        fail(f"{path}: missing the zero-fault baseline class")
+    if classes["none"]["injected"] != 0:
+        fail(f"{path}: fault_class 'none' injected faults")
+    for name, cls in classes.items():
+        if name != "none" and cls["injected"] == 0:
+            fail(f"{path}: fault class {name!r} never injected in any cell")
+    print(
+        f"check_bench: OK: {path}: {len(data)} cells over"
+        f" {len(classes)} fault classes, all degraded gracefully"
+    )
+
+
+def check_divergence(path):
+    text = open(path).read()
+    if "divergence_report" not in text.splitlines()[0]:
+        fail(f"{path}: missing report header")
+    rows = re.findall(r"^(opening|midgame|endgame).*?([0-9.]+)%\s*$", text, re.M)
+    if len(rows) != 3:
+        fail(f"{path}: expected 3 phase rows, found {len(rows)}")
+    for phase, eff in rows:
+        eff = float(eff)
+        if not 0.0 < eff <= 100.0:
+            fail(f"{path}: {phase} lane efficiency {eff}% out of (0, 100]")
+    print(f"check_bench: OK: {path}: 3 phase rows, efficiencies sane")
+
+
+def canon(path):
+    data = json.load(open(path))
+    for rec in data:
+        for f in WALL_FIELDS:
+            rec.pop(f, None)
+    json.dump(data, sys.stdout, indent=1, sort_keys=True)
+    print()
+
+
+CHECKS = {
+    "profile.json": check_profile,
+    "BENCH_throughput.json": check_throughput,
+    "fault_matrix.json": check_fault_matrix,
+    "divergence_report.txt": check_divergence,
+}
+
+
+def main(argv):
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if argv else 2
+    if argv[0] == "--canon":
+        if len(argv) != 2:
+            fail("--canon takes exactly one file")
+        canon(argv[1])
+        return 0
+    for path in argv:
+        name = os.path.basename(path)
+        checker = CHECKS.get(name)
+        if checker is None:
+            fail(f"{path}: no check registered for {name!r} (known: {sorted(CHECKS)})")
+        checker(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
