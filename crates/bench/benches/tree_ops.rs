@@ -12,7 +12,7 @@ fn grown_tree(n: usize) -> SearchTree<Reversi> {
     let mut rng = Xoshiro256pp::new(42);
     while tree.len() < n {
         let id = tree.select(1.4);
-        let node = if !tree.node(id).fully_expanded() {
+        let node = if !tree.fully_expanded(id) {
             tree.expand(id, &mut rng)
         } else {
             id
@@ -43,7 +43,7 @@ fn bench_tree_ops(c: &mut Criterion) {
             || tree.clone(),
             |mut t| {
                 let id = t.select(1.4);
-                let node = if !t.node(id).fully_expanded() {
+                let node = if !t.fully_expanded(id) {
                     t.expand(id, &mut rng)
                 } else {
                     id

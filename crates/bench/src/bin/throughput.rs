@@ -13,9 +13,17 @@
 //!    number for the engine rewrite.
 //! 3. **Full searches** — wall-clock iterations/s and playouts/s for the
 //!    main schemes on fixed seeds.
+//! 4. **Tree operations** — select/expand/backprop ops/s on a prebuilt
+//!    ~50k-node tree, measured on the original array-of-structs layout
+//!    (`AosSearchTree`, retained as a baseline) and the SoA `SearchTree`,
+//!    plus per-scheme host-phase loops replayed on both layouts. The
+//!    summary's `tree_ops_*_speedup_vs_aos` and `host_phase_speedup_*`
+//!    fields are the acceptance numbers for the SoA tree rewrite.
 //!
 //! Outputs and `KernelStats` of the two engines are asserted equal before
-//! timing, so the speedup is measured on provably identical work.
+//! timing, so the speedup is measured on provably identical work; the two
+//! tree layouts are grown through identical operation sequences (the
+//! equivalence oracle in `pmcts_core::tree_aos` proves them bit-identical).
 //!
 //! Run: `cargo run --release -p pmcts-bench --bin throughput -- [--full]`
 //! (`--out DIR` also writes `DIR/BENCH_throughput.json`).
@@ -23,9 +31,11 @@
 use pmcts_bench::{midgame_position, write_json, BenchArgs, JsonObject};
 use pmcts_core::gpu::PlayoutKernel;
 use pmcts_core::prelude::*;
+use pmcts_core::tree::SearchTree;
+use pmcts_core::tree_aos::AosSearchTree;
 use pmcts_gpu_sim::executor::{execute_kernel, execute_kernel_lockstep};
 use pmcts_gpu_sim::WorkerPool;
-use pmcts_util::Xoshiro256pp;
+use pmcts_util::{Rng64, Xoshiro256pp};
 use std::time::Instant;
 
 fn secs(wall_ns: u64) -> f64 {
@@ -123,6 +133,357 @@ fn bench_search(
         .f64_field("virtual_sims_per_sec", report.sims_per_second())
 }
 
+const EXPLORATION_C: f64 = 1.4;
+
+/// Ops/s rates of one layout's tree operations, for the summary.
+struct OpsRates {
+    select: f64,
+    expand: f64,
+    backprop: f64,
+}
+
+/// Grows a SoA tree to `nodes` nodes through the canonical MCTS loop.
+fn grow_soa(position: Reversi, nodes: usize, seed: u64) -> SearchTree<Reversi> {
+    let mut tree = SearchTree::new(position);
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut i = 0u64;
+    while tree.len() < nodes {
+        let id = tree.select(EXPLORATION_C);
+        let node = if !tree.fully_expanded(id) {
+            tree.expand(id, &mut rng)
+        } else {
+            id
+        };
+        tree.backprop(node, (i % 3) as f64 / 2.0, 1);
+        i += 1;
+    }
+    tree
+}
+
+/// Grows the baseline AoS tree through the identical operation sequence.
+fn grow_aos(position: Reversi, nodes: usize, seed: u64) -> AosSearchTree<Reversi> {
+    let mut tree = AosSearchTree::new(position);
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut i = 0u64;
+    while tree.len() < nodes {
+        let id = tree.select(EXPLORATION_C);
+        let node = if !tree.node(id).fully_expanded() {
+            tree.expand(id, &mut rng)
+        } else {
+            id
+        };
+        tree.backprop(node, (i % 3) as f64 / 2.0, 1);
+        i += 1;
+    }
+    tree
+}
+
+/// One layout's tree-op record: select / expand / backprop ops/s on a
+/// prebuilt tree. `expandable` and `leaf` come from the caller so both
+/// layouts time exactly the same node sets.
+///
+/// A *select op* is one UCB argmax over one expanded node's children; the
+/// benchmark sweeps every expanded node of the tree, so each pass touches
+/// the whole working set — a cold-cache selection workload. (Timing
+/// root-to-leaf `select` calls instead would rewalk one unchanging,
+/// L1-resident path and measure nothing about layout.)
+#[allow(clippy::too_many_arguments)]
+fn tree_ops_record(
+    layout: &str,
+    nodes: u64,
+    select_sweeps: u64,
+    steps_per_sweep: u64,
+    backprop_ops: u64,
+    select_sweep: impl Fn() -> u64,
+    expand: impl FnOnce() -> (u64, u64),
+    backprop: impl FnOnce(u64) -> u64,
+) -> (JsonObject, OpsRates) {
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..select_sweeps {
+        checksum = checksum.wrapping_add(select_sweep());
+    }
+    let select_ns = start.elapsed().as_nanos() as u64;
+    let select_ops = select_sweeps * steps_per_sweep;
+
+    let start = Instant::now();
+    let (expand_ops, expand_sum) = expand();
+    let expand_ns = start.elapsed().as_nanos() as u64;
+    checksum = checksum.wrapping_add(expand_sum);
+
+    let start = Instant::now();
+    checksum = checksum.wrapping_add(backprop(backprop_ops));
+    let backprop_ns = start.elapsed().as_nanos() as u64;
+
+    let rates = OpsRates {
+        select: rate(select_ops, select_ns),
+        expand: rate(expand_ops, expand_ns),
+        backprop: rate(backprop_ops, backprop_ns),
+    };
+    let record = JsonObject::new()
+        .str_field("record", "tree_ops")
+        .str_field("layout", layout)
+        .u64_field("nodes", nodes)
+        .u64_field("select_ops", select_ops)
+        .u64_field("expand_ops", expand_ops)
+        .u64_field("backprop_ops", backprop_ops)
+        .u64_field("select_wall_ns", select_ns)
+        .u64_field("expand_wall_ns", expand_ns)
+        .u64_field("backprop_wall_ns", backprop_ns)
+        .f64_field("select_ops_per_sec", rates.select)
+        .f64_field("expand_ops_per_sec", rates.expand)
+        .f64_field("backprop_ops_per_sec", rates.backprop)
+        .u64_field("checksum", checksum);
+    (record, rates)
+}
+
+/// Times select/expand/backprop on both layouts over structurally
+/// identical prebuilt trees; returns the two records plus SoA-over-AoS
+/// speedups (select, expand, backprop).
+fn bench_tree_ops(
+    position: Reversi,
+    nodes: usize,
+    select_ops: u64,
+    backprop_ops: u64,
+    seed: u64,
+) -> (Vec<JsonObject>, [f64; 3]) {
+    let soa = grow_soa(position, nodes, seed);
+    let aos = grow_aos(position, nodes, seed);
+    assert_eq!(soa.len(), aos.len(), "layouts must grow identically");
+
+    // Same expanded-node set, same frontier and same deepest leaf for both
+    // layouts (the trees are bit-identical, so these are shared).
+    let internal: Vec<u32> = (0..soa.len() as u32)
+        .filter(|&id| !soa.children(id).is_empty())
+        .collect();
+    let steps_per_sweep = internal.len() as u64;
+    let select_sweeps = (select_ops / steps_per_sweep.max(1)).max(1);
+    let mut expandable: Vec<u32> = (0..soa.len() as u32)
+        .filter(|&id| soa.untried_len(id) > 0)
+        .collect();
+    expandable.truncate(25_000);
+    let leaf = (0..soa.len() as u32)
+        .max_by_key(|&id| soa.depth(id))
+        .expect("non-empty tree");
+
+    let (soa_rec, soa_rates) = tree_ops_record(
+        "soa",
+        soa.len() as u64,
+        select_sweeps,
+        steps_per_sweep,
+        backprop_ops,
+        || {
+            // The SoA selection step: ln hoisted once per parent, children
+            // read from the shared slab, stats from the dense hot arrays.
+            let mut acc = 0u64;
+            for &id in &internal {
+                let ln_parent = (soa.visits(id).max(1) as f64).ln();
+                let mut best = 0u32;
+                let mut best_value = f64::NEG_INFINITY;
+                for &child in soa.children(id) {
+                    let value = pmcts_core::ucb::ucb1_with_ln(
+                        ln_parent,
+                        soa.visits(child),
+                        soa.wins(child),
+                        EXPLORATION_C,
+                    );
+                    if value > best_value {
+                        best_value = value;
+                        best = child;
+                    }
+                }
+                acc = acc.wrapping_add(u64::from(best));
+            }
+            acc
+        },
+        || {
+            let mut t = soa.clone();
+            let mut rng = Xoshiro256pp::new(seed ^ 0xE1);
+            let mut sum = 0u64;
+            for &id in &expandable {
+                sum = sum.wrapping_add(u64::from(t.expand(id, &mut rng)));
+            }
+            (expandable.len() as u64, sum)
+        },
+        |ops| {
+            let mut t = soa.clone();
+            for i in 0..ops {
+                t.backprop(leaf, (i % 3) as f64 / 2.0, 1);
+            }
+            t.visits(leaf)
+        },
+    );
+    let (aos_rec, aos_rates) = tree_ops_record(
+        "aos",
+        aos.len() as u64,
+        select_sweeps,
+        steps_per_sweep,
+        backprop_ops,
+        || {
+            // The original selection step: per-child `ucb1` (ln recomputed
+            // every child), children behind each node's own Vec, stats read
+            // through the full-width node structs.
+            let mut acc = 0u64;
+            for &id in &internal {
+                let node = aos.node(id);
+                let mut best = 0u32;
+                let mut best_value = f64::NEG_INFINITY;
+                for &child in &node.children {
+                    let c = aos.node(child);
+                    let value = pmcts_core::ucb::ucb1(node.visits, c.visits, c.wins, EXPLORATION_C);
+                    if value > best_value {
+                        best_value = value;
+                        best = child;
+                    }
+                }
+                acc = acc.wrapping_add(u64::from(best));
+            }
+            acc
+        },
+        || {
+            let mut t = aos.clone();
+            let mut rng = Xoshiro256pp::new(seed ^ 0xE1);
+            let mut sum = 0u64;
+            for &id in &expandable {
+                sum = sum.wrapping_add(u64::from(t.expand(id, &mut rng)));
+            }
+            (expandable.len() as u64, sum)
+        },
+        |ops| {
+            let mut t = aos.clone();
+            for i in 0..ops {
+                t.backprop(leaf, (i % 3) as f64 / 2.0, 1);
+            }
+            t.node(leaf).visits
+        },
+    );
+    let speedups = [
+        soa_rates.select / aos_rates.select,
+        soa_rates.expand / aos_rates.expand,
+        soa_rates.backprop / aos_rates.backprop,
+    ];
+    (vec![soa_rec, aos_rec], speedups)
+}
+
+/// Replays one scheme's host-side phase loop — block-order selection,
+/// expansion and backprop over `blocks` trees with synthetic kernel
+/// results, plus the hybrid scheme's CPU-shadow iteration when `shadow` —
+/// on both layouts, and returns the records plus the SoA-over-AoS speedup.
+///
+/// This is exactly the work the searchers run between kernel launches
+/// (single-threaded here; the pool schedule does the same operations in
+/// the same per-tree order), so the ratio is the wall-clock host-phase
+/// speedup the SoA layout buys each scheme.
+fn bench_host_phases(
+    scheme: &str,
+    blocks: usize,
+    lanes_per_block: u32,
+    shadow: bool,
+    iters: u64,
+    position: Reversi,
+    seed: u64,
+) -> (Vec<JsonObject>, f64) {
+    let run_soa = || {
+        let mut trees: Vec<SearchTree<Reversi>> =
+            (0..blocks).map(|_| SearchTree::new(position)).collect();
+        let mut shadow_tree = shadow.then(|| SearchTree::new(position));
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut outcome = Xoshiro256pp::new(seed ^ 0x5EED);
+        let mut frontier = vec![0u32; blocks];
+        let start = Instant::now();
+        for _ in 0..iters {
+            for (b, tree) in trees.iter_mut().enumerate() {
+                let sel = tree.select(EXPLORATION_C);
+                frontier[b] = if tree.untried_len(sel) > 0 {
+                    let pick = rng.next_below(tree.untried_len(sel) as u32);
+                    tree.expand_with_pick(sel, pick)
+                } else {
+                    sel
+                };
+            }
+            for (b, tree) in trees.iter_mut().enumerate() {
+                let wins = f64::from(outcome.next_below(lanes_per_block + 1));
+                tree.backprop(frontier[b], wins, u64::from(lanes_per_block));
+            }
+            if let Some(t) = shadow_tree.as_mut() {
+                let sel = t.select(EXPLORATION_C);
+                let node = if t.untried_len(sel) > 0 {
+                    let pick = rng.next_below(t.untried_len(sel) as u32);
+                    t.expand_with_pick(sel, pick)
+                } else {
+                    sel
+                };
+                t.backprop(node, f64::from(outcome.next_below(2)), 1);
+            }
+        }
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let nodes: u64 = trees.iter().map(|t| t.len() as u64).sum();
+        (wall_ns, nodes)
+    };
+    let run_aos = || {
+        let mut trees: Vec<AosSearchTree<Reversi>> =
+            (0..blocks).map(|_| AosSearchTree::new(position)).collect();
+        let mut shadow_tree = shadow.then(|| AosSearchTree::new(position));
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut outcome = Xoshiro256pp::new(seed ^ 0x5EED);
+        let mut frontier = vec![0u32; blocks];
+        let start = Instant::now();
+        for _ in 0..iters {
+            for (b, tree) in trees.iter_mut().enumerate() {
+                let sel = tree.select(EXPLORATION_C);
+                frontier[b] = if !tree.node(sel).fully_expanded() {
+                    tree.expand(sel, &mut rng)
+                } else {
+                    sel
+                };
+            }
+            for (b, tree) in trees.iter_mut().enumerate() {
+                let wins = f64::from(outcome.next_below(lanes_per_block + 1));
+                tree.backprop(frontier[b], wins, u64::from(lanes_per_block));
+            }
+            if let Some(t) = shadow_tree.as_mut() {
+                let sel = t.select(EXPLORATION_C);
+                let node = if !t.node(sel).fully_expanded() {
+                    t.expand(sel, &mut rng)
+                } else {
+                    sel
+                };
+                t.backprop(node, f64::from(outcome.next_below(2)), 1);
+            }
+        }
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let nodes: u64 = trees.iter().map(|t| t.len() as u64).sum();
+        (wall_ns, nodes)
+    };
+
+    // Warm up both (page in code, fault in slabs), then time.
+    let _ = run_soa();
+    let _ = run_aos();
+    let (soa_ns, soa_nodes) = run_soa();
+    let (aos_ns, aos_nodes) = run_aos();
+    assert_eq!(soa_nodes, aos_nodes, "host-phase replays must grow alike");
+
+    let record = |layout: &str, wall_ns: u64, nodes: u64| {
+        JsonObject::new()
+            .str_field("record", "host_phases")
+            .str_field("scheme", scheme)
+            .str_field("layout", layout)
+            .u64_field("blocks", blocks as u64)
+            .u64_field("iters", iters)
+            .u64_field("tree_nodes", nodes)
+            .u64_field("wall_ns", wall_ns)
+            .f64_field("iters_per_sec", rate(iters, wall_ns))
+    };
+    let speedup = rate(iters, soa_ns) / rate(iters, aos_ns);
+    (
+        vec![
+            record("soa", soa_ns, soa_nodes),
+            record("aos", aos_ns, aos_nodes),
+        ],
+        speedup,
+    )
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let position = midgame_position(args.seed, 20);
@@ -133,6 +494,11 @@ fn main() {
     } else {
         (LaunchConfig::new(14, 64), 10, 30_000, 16)
     };
+    let (tree_nodes, tree_ops, host_phase_iters) = if args.full {
+        (50_000usize, 500_000u64, 6_000u64)
+    } else {
+        (50_000, 150_000, 2_000)
+    };
     // Fresh stream seed per rep: repetitions do distinct (but seed-fixed)
     // work, like consecutive launches of a real search.
     let kernels: Vec<PlayoutKernel<Reversi>> = (0..reps)
@@ -140,8 +506,12 @@ fn main() {
         .collect();
 
     // The engines must agree bit-for-bit before their speeds are compared.
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let host_threads = args.host_threads_or(default_threads);
     let pool1 = WorkerPool::new(1);
-    let pool = WorkerPool::with_available_parallelism();
+    let pool = WorkerPool::new(host_threads);
     let fast = execute_kernel(&kernels[0], &launch, &spec, &pool1);
     let oracle = execute_kernel_lockstep(&kernels[0], &launch, &spec);
     assert_eq!(fast.outputs, oracle.outputs, "engine outputs diverged");
@@ -164,7 +534,7 @@ fn main() {
     records.push(rec);
 
     let cfg = || MctsConfig::default().with_seed(args.seed);
-    let device = Device::new(spec.clone());
+    let device = Device::new(spec.clone()).with_host_threads(host_threads);
     let budget = SearchBudget::Iterations(search_iters);
     records.push(bench_search(
         "sequential",
@@ -175,7 +545,7 @@ fn main() {
     records.push(bench_search(
         "root_parallel",
         SearchBudget::Iterations(search_iters * 8),
-        &mut RootParallelSearcher::<Reversi>::new(cfg(), 8),
+        &mut RootParallelSearcher::<Reversi>::new(cfg(), 8).with_workers(host_threads),
         position,
     ));
     records.push(bench_search(
@@ -197,24 +567,70 @@ fn main() {
         position,
     ));
 
+    // Tree operations and host-phase loops, old layout vs SoA.
+    let (tree_records, [sel_speedup, exp_speedup, bp_speedup]) =
+        bench_tree_ops(position, tree_nodes, tree_ops, tree_ops, args.seed);
+    records.extend(tree_records);
+
+    let mut host_phase_speedups = Vec::new();
+    for (scheme, blocks, lanes, shadow) in [
+        ("sequential", 1usize, 1u32, false),
+        (
+            "block_parallel",
+            launch.blocks as usize,
+            launch.threads_per_block,
+            false,
+        ),
+        (
+            "hybrid",
+            launch.blocks as usize,
+            launch.threads_per_block,
+            true,
+        ),
+    ] {
+        let (recs, speedup) = bench_host_phases(
+            scheme,
+            blocks,
+            lanes,
+            shadow,
+            host_phase_iters,
+            position,
+            args.seed,
+        );
+        records.extend(recs);
+        host_phase_speedups.push((scheme, speedup));
+    }
+
     let speedup_pool = rtc_pool_rate / legacy_rate;
     let speedup_1t = rtc_1t_rate / legacy_rate;
-    records.push(
-        JsonObject::new()
-            .str_field("record", "summary")
-            .str_field("baseline", "legacy_lockstep")
-            .u64_field("host_threads", pool.size() as u64)
-            .f64_field("legacy_lane_steps_per_sec", legacy_rate)
-            .f64_field("rtc_1_thread_lane_steps_per_sec", rtc_1t_rate)
-            .f64_field("rtc_pool_lane_steps_per_sec", rtc_pool_rate)
-            .f64_field("kernel_speedup_vs_lockstep", speedup_pool)
-            .f64_field("kernel_speedup_vs_lockstep_1_thread", speedup_1t),
-    );
+    let mut summary = JsonObject::new()
+        .str_field("record", "summary")
+        .str_field("baseline", "legacy_lockstep")
+        .u64_field("host_threads", pool.size() as u64)
+        .f64_field("legacy_lane_steps_per_sec", legacy_rate)
+        .f64_field("rtc_1_thread_lane_steps_per_sec", rtc_1t_rate)
+        .f64_field("rtc_pool_lane_steps_per_sec", rtc_pool_rate)
+        .f64_field("kernel_speedup_vs_lockstep", speedup_pool)
+        .f64_field("kernel_speedup_vs_lockstep_1_thread", speedup_1t)
+        .f64_field("tree_ops_select_speedup_vs_aos", sel_speedup)
+        .f64_field("tree_ops_expand_speedup_vs_aos", exp_speedup)
+        .f64_field("tree_ops_backprop_speedup_vs_aos", bp_speedup);
+    for &(scheme, speedup) in &host_phase_speedups {
+        summary = summary.f64_field(&format!("host_phase_speedup_{scheme}"), speedup);
+    }
+    records.push(summary);
 
     eprintln!(
         "engine speedup vs lockstep oracle: {speedup_1t:.2}x (1 thread), \
          {speedup_pool:.2}x ({} threads)",
         pool.size()
     );
+    eprintln!(
+        "SoA tree speedup vs AoS baseline: select {sel_speedup:.2}x, \
+         expand {exp_speedup:.2}x, backprop {bp_speedup:.2}x"
+    );
+    for &(scheme, speedup) in &host_phase_speedups {
+        eprintln!("host-phase speedup ({scheme}): {speedup:.2}x vs AoS");
+    }
     write_json("BENCH_throughput", &records, &args);
 }

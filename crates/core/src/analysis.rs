@@ -27,19 +27,17 @@ pub fn principal_variation<G: Game>(tree: &SearchTree<G>, max_len: usize) -> Vec
     let mut pv = Vec::new();
     let mut id = tree.root();
     while pv.len() < max_len {
-        let node = tree.node(id);
-        let best = node
-            .children
+        let best = tree
+            .children(id)
             .iter()
             .copied()
-            .max_by_key(|&c| tree.node(c).visits);
+            .max_by_key(|&c| tree.visits(c));
         match best {
-            Some(child) if tree.node(child).visits > 0 => {
-                let n = tree.node(child);
+            Some(child) if tree.visits(child) > 0 => {
                 pv.push(PvEntry {
-                    mv: n.mv.expect("child has a move"),
-                    visits: n.visits,
-                    mean: n.mean(),
+                    mv: tree.move_into(child).expect("child has a move"),
+                    visits: tree.visits(child),
+                    mean: tree.mean(child),
                 });
                 id = child;
             }
@@ -75,13 +73,13 @@ pub fn tree_shape<G: Game>(tree: &SearchTree<G>) -> TreeShape {
     let mut internal = 0u64;
     let mut child_total = 0u64;
     for id in 0..tree.len() as u32 {
-        let node = tree.node(id);
-        shape.depth_histogram[node.depth as usize] += 1;
-        if node.children.is_empty() {
+        shape.depth_histogram[tree.depth(id) as usize] += 1;
+        let n_children = tree.children(id).len();
+        if n_children == 0 {
             shape.leaves += 1;
         } else {
             internal += 1;
-            child_total += node.children.len() as u64;
+            child_total += n_children as u64;
         }
     }
     shape.mean_branching = if internal == 0 {

@@ -2,12 +2,22 @@
 //!
 //! `B` independent trees live on the CPU, one per GPU *block*. Each
 //! iteration the host performs selection + expansion on **every** tree
-//! sequentially (this is the sequential part that grows with `B` and caps
-//! simulations/second — Fig. 5), uploads the `B` frontier positions, and
-//! launches a single kernel: block `b`'s threads all simulate tree `b`'s
-//! position, a leaf-parallel batch per tree. Results are read back,
-//! backpropagated per tree, and at the end root statistics are merged
-//! across trees exactly as in root parallelism.
+//! (this is the host part that grows with `B` and caps simulations/second —
+//! Fig. 5), uploads the `B` frontier positions, and launches a single
+//! kernel: block `b`'s threads all simulate tree `b`'s position, a
+//! leaf-parallel batch per tree. Results are read back, backpropagated per
+//! tree, and at the end root statistics are merged across trees exactly as
+//! in root parallelism.
+//!
+//! The host tree phases run on the device's
+//! [`WorkerPool`](pmcts_gpu_sim::WorkerPool) in three stages
+//! per iteration: pool-parallel selection over trees, a sequential pass
+//! drawing every expansion pick from the shared RNG in block order, and
+//! pool-parallel expansion (then, after the launch, pool-parallel
+//! backpropagation). Virtual-time charging still models the paper's
+//! single-core host — the pool only shrinks *wall-clock* host time — and
+//! because RNG draws and all cost/statistics folding stay in block order,
+//! reports are bit-identical for any pool size.
 //!
 //! The scheme matches the hardware hierarchy (Fig. 3): warps stay
 //! divergence-coherent because all lanes of a block simulate the same
@@ -20,7 +30,7 @@ use crate::telemetry::PhaseBreakdown;
 use crate::tree::{best_from_stats, merge_root_stats, SearchTree};
 use pmcts_games::{random_playout, Game, Player};
 use pmcts_gpu_sim::{Device, GpuFault, LaunchConfig};
-use pmcts_util::{SimTime, Xoshiro256pp};
+use pmcts_util::{Rng64, SimTime, Xoshiro256pp};
 
 /// Block-parallel GPU searcher: one MCTS tree per GPU block.
 #[derive(Clone, Debug)]
@@ -93,29 +103,55 @@ impl<G: Game> BlockParallelSearcher<G> {
         let mut phases = PhaseBreakdown::new();
         let mut simulations = 0u64;
         let cpu = self.config.cpu_cost;
+        // Host tree phases fan out over the device's worker pool. The pool
+        // only decides which thread touches which tree; everything that
+        // affects results (RNG draws, cost folding, report merging) happens
+        // in block order on this thread, so reports and virtual time are
+        // bit-identical for any pool size.
+        let pool = std::sync::Arc::clone(self.device.worker_pool());
+        let exploration_c = self.config.exploration_c;
 
-        if trees[0].node(0).is_terminal() {
+        if trees[0].is_terminal(0) {
             return (trees, tracker, 0, phases);
         }
 
         let plan = self.config.faults;
         while tracker.may_continue() {
-            // Host-sequential part: selection + expansion on every tree.
             let mut iter_cost = SimTime::ZERO;
-            let mut frontier: Vec<(u32, G)> = Vec::with_capacity(blocks);
-            for tree in trees.iter_mut() {
-                let selected = tree.select(self.config.exploration_c);
-                let node = if !tree.node(selected).fully_expanded() {
-                    phases.expansions += 1;
-                    tree.expand(selected, &mut self.rng)
-                } else {
-                    selected
+            // Selection on every tree (pool-parallel; trees are
+            // independent, selection is read-only).
+            let selected: Vec<(u32, u32)> = pool.map_indexed(&mut trees, |_, tree| {
+                let sel = tree.select(exploration_c);
+                (sel, tree.untried_len(sel) as u32)
+            });
+            // Draw expansion picks from the shared RNG in block order —
+            // exactly the draw sequence of the sequential schedule, so the
+            // pinned fingerprints are unaffected.
+            let picks: Vec<Option<u32>> = selected
+                .iter()
+                .map(|&(_, untried)| {
+                    if untried != 0 {
+                        phases.expansions += 1;
+                        Some(self.rng.next_below(untried))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            // Expansion with the pre-drawn picks (pool-parallel), capturing
+            // each tree's frontier node for the kernel.
+            let frontier: Vec<(u32, G, u32)> = pool.map_indexed(&mut trees, |b, tree| {
+                let node = match picks[b] {
+                    Some(pick) => tree.expand_with_pick(selected[b].0, pick),
+                    None => selected[b].0,
                 };
-                let depth = tree.node(node).depth;
+                (node, *tree.state(node), tree.depth(node))
+            });
+            // Deterministic block-order folding of per-tree host costs.
+            for &(_, _, depth) in &frontier {
                 iter_cost += cpu.tree_op(depth);
                 phases.select += cpu.select_cost(depth);
                 phases.expand += cpu.expand_cost();
-                frontier.push((node, tree.node(node).state));
             }
 
             // One launch simulates every tree's frontier node. A hang is
@@ -124,7 +160,7 @@ impl<G: Game> BlockParallelSearcher<G> {
             let mut retried = false;
             loop {
                 let kernel = PlayoutKernel::new(
-                    frontier.iter().map(|&(_, s)| s).collect(),
+                    frontier.iter().map(|&(_, s, _)| s).collect(),
                     self.next_stream_seed(),
                 );
                 let fault = plan.gpu_fault(self.stream, self.epoch, self.launch.blocks);
@@ -172,16 +208,21 @@ impl<G: Game> BlockParallelSearcher<G> {
                     }
                 };
 
-                // Read back per-block and backpropagate into each tree —
-                // host-sequential as well. An aborted block's tree simply
-                // receives nothing this iteration.
-                for (b, tree) in trees.iter_mut().enumerate() {
+                // Read back per-block and backpropagate into each tree
+                // (pool-parallel: each tree's backprop walk is independent).
+                // An aborted block's tree simply receives nothing this
+                // iteration. Simulation counts fold in block order.
+                let outputs = &result.outputs;
+                let counts: Vec<u64> = pool.map_indexed(&mut trees, |b, tree| {
                     if Some(b) == voided {
-                        continue;
+                        return 0;
                     }
-                    let lanes = &result.outputs[b * tpb..(b + 1) * tpb];
+                    let lanes = &outputs[b * tpb..(b + 1) * tpb];
                     let (wins_p1, n) = aggregate(lanes);
                     tree.backprop(frontier[b].0, wins_p1, n);
+                    n
+                });
+                for n in counts {
                     simulations += n;
                     phases.simulations += n;
                 }

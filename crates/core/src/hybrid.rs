@@ -22,7 +22,7 @@ use crate::telemetry::PhaseBreakdown;
 use crate::tree::SearchTree;
 use pmcts_games::Game;
 use pmcts_gpu_sim::{Device, GpuFault, LaunchConfig};
-use pmcts_util::{SimTime, Xoshiro256pp};
+use pmcts_util::{Rng64, SimTime, Xoshiro256pp};
 use std::sync::Arc;
 
 /// Hybrid CPU+GPU block-parallel searcher.
@@ -80,30 +80,48 @@ impl<G: Game> Searcher<G> for HybridSearcher<G> {
         let mut est_iter = (cpu.tree_op(8) + cpu.playout(G::MAX_GAME_LENGTH as u32 / 2))
             .max(SimTime::from_nanos(1));
 
-        if !trees[0].node(0).is_terminal() {
+        // Host tree phases fan out over the device's pool exactly as in
+        // `BlockParallelSearcher`: pool-parallel selection, sequential RNG
+        // pick drawing in block order, pool-parallel expansion. RNG draw
+        // order and cost folding are untouched, so reports stay
+        // bit-identical for any pool size.
+        let pool = Arc::clone(self.device.worker_pool());
+        let exploration_c = self.config.exploration_c;
+
+        if !trees[0].is_terminal(0) {
             let plan = self.config.faults;
             while tracker.may_continue() {
-                // Host-sequential: select/expand each tree and gather the
-                // frontier for the device.
                 let mut host_cost = cpu.launch_prep;
-                let mut frontier: Vec<(u32, G)> = Vec::with_capacity(blocks);
-                for tree in trees.iter_mut() {
-                    let selected = tree.select(self.config.exploration_c);
-                    let node = if !tree.node(selected).fully_expanded() {
-                        phases.expansions += 1;
-                        tree.expand(selected, &mut self.rng)
-                    } else {
-                        selected
+                let selected: Vec<(u32, u32)> = pool.map_indexed(&mut trees, |_, tree| {
+                    let sel = tree.select(exploration_c);
+                    (sel, tree.untried_len(sel) as u32)
+                });
+                let picks: Vec<Option<u32>> = selected
+                    .iter()
+                    .map(|&(_, untried)| {
+                        if untried != 0 {
+                            phases.expansions += 1;
+                            Some(self.rng.next_below(untried))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                let frontier: Vec<(u32, G, u32)> = pool.map_indexed(&mut trees, |b, tree| {
+                    let node = match picks[b] {
+                        Some(pick) => tree.expand_with_pick(selected[b].0, pick),
+                        None => selected[b].0,
                     };
-                    let depth = tree.node(node).depth;
+                    (node, *tree.state(node), tree.depth(node))
+                });
+                for &(_, _, depth) in &frontier {
                     host_cost += cpu.tree_op(depth);
                     phases.select += cpu.select_cost(depth);
                     phases.expand += cpu.expand_cost();
-                    frontier.push((node, tree.node(node).state));
                 }
 
                 let kernel = Arc::new(PlayoutKernel::new(
-                    frontier.iter().map(|&(_, s)| s).collect(),
+                    frontier.iter().map(|&(_, s, _)| s).collect(),
                     self.next_stream_seed(),
                 ));
                 let fault = plan.gpu_fault(0x4B1D, self.epoch, self.launch.blocks);
@@ -175,13 +193,18 @@ impl<G: Game> Searcher<G> for HybridSearcher<G> {
                             None
                         }
                     };
-                    for (b, tree) in trees.iter_mut().enumerate() {
+                    // Pool-parallel backprop, counts folded in block order.
+                    let outputs = &result.outputs;
+                    let counts: Vec<u64> = pool.map_indexed(&mut trees, |b, tree| {
                         if Some(b) == voided {
-                            continue;
+                            return 0;
                         }
-                        let lanes = &result.outputs[b * tpb..(b + 1) * tpb];
+                        let lanes = &outputs[b * tpb..(b + 1) * tpb];
                         let (wins_p1, n) = aggregate(lanes);
                         tree.backprop(frontier[b].0, wins_p1, n);
+                        n
+                    });
+                    for n in counts {
                         simulations += n;
                         phases.simulations += n;
                     }

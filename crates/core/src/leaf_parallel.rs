@@ -82,18 +82,18 @@ impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
         let mut simulations = 0u64;
         let cpu = self.config.cpu_cost;
 
-        if !tree.node(tree.root()).is_terminal() {
+        if !tree.is_terminal(tree.root()) {
             let plan = self.config.faults;
             while tracker.may_continue() {
                 // Selection + expansion on the host.
                 let selected = tree.select(self.config.exploration_c);
-                let node = if !tree.node(selected).fully_expanded() {
+                let node = if !tree.fully_expanded(selected) {
                     phases.expansions += 1;
                     tree.expand(selected, &mut self.rng)
                 } else {
                     selected
                 };
-                let depth = tree.node(node).depth;
+                let depth = tree.depth(node);
                 phases.select += cpu.select_cost(depth);
                 phases.expand += cpu.expand_cost();
                 let mut iter_cost = cpu.tree_op(depth);
@@ -106,7 +106,7 @@ impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
                 let mut retried = false;
                 loop {
                     let kernel =
-                        PlayoutKernel::new(vec![tree.node(node).state], self.next_stream_seed());
+                        PlayoutKernel::new(vec![*tree.state(node)], self.next_stream_seed());
                     let fault = plan.gpu_fault(self.stream, self.epoch, self.launch.blocks);
                     let upload = self.device.spec().transfer_time(kernel.upload_bytes());
                     let result = self.device.launch_with_fault(&kernel, self.launch, fault);
@@ -125,7 +125,7 @@ impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
                             phases.faults.retried += 1;
                             continue;
                         }
-                        let playout = random_playout(tree.node(node).state, &mut self.rng);
+                        let playout = random_playout(*tree.state(node), &mut self.rng);
                         let cost = cpu.playout(playout.plies);
                         phases.kernel += cost;
                         iter_cost += cost;

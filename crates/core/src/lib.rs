@@ -26,7 +26,9 @@
 //! * [`multi_gpu`] — root parallelism over MPI ranks, one simulated GPU per
 //!   rank (paper Fig. 9).
 //!
-//! Supporting modules: [`tree`] (arena-allocated search tree), [`ucb`]
+//! Supporting modules: [`tree`] (structure-of-arrays search tree; the
+//! original array-of-structs layout survives in [`tree_aos`] as the
+//! benchmark baseline and equivalence oracle), [`ucb`]
 //! (selection policy), [`gpu`] (the playout kernel run on the simulated
 //! device), [`cost`] (virtual-time cost model of host-side work),
 //! [`searcher`] (the common `Searcher` interface and reports), [`player`] /
@@ -60,6 +62,7 @@ pub mod searcher;
 pub mod sequential;
 pub mod telemetry;
 pub mod tree;
+pub mod tree_aos;
 pub mod tree_parallel;
 pub mod ucb;
 

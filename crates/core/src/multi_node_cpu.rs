@@ -15,8 +15,10 @@ use crate::searcher::{empty_report, SearchReport, Searcher};
 use crate::telemetry::{critical_index, rank_merge_cost, PhaseBreakdown};
 use crate::tree::{best_from_stats, merge_root_stats, RootStat};
 use pmcts_games::Game;
+use pmcts_gpu_sim::WorkerPool;
 use pmcts_mpi_sim::{NetworkModel, World};
 use pmcts_util::SimTime;
+use std::sync::Arc;
 
 /// Root parallelism across `ranks` simulated cluster nodes with
 /// `threads_per_rank` CPU threads each.
@@ -26,6 +28,10 @@ pub struct MultiNodeCpuSearcher<G: Game> {
     ranks: usize,
     threads_per_rank: usize,
     network: NetworkModel,
+    /// Persistent host workers shared by every rank's root searcher, so a
+    /// search spawns no threads beyond the rank drivers. Rank results are
+    /// keyed by rank id, so the pool never affects results.
+    pool: Arc<WorkerPool>,
     generation: u64,
     _game: std::marker::PhantomData<fn() -> G>,
 }
@@ -45,9 +51,17 @@ impl<G: Game> MultiNodeCpuSearcher<G> {
             ranks,
             threads_per_rank,
             network,
+            pool: Arc::new(WorkerPool::with_available_parallelism()),
             generation: 0,
             _game: std::marker::PhantomData,
         }
+    }
+
+    /// Shares an existing worker pool for the per-rank host phases instead
+    /// of owning one. Virtual timing and results are unaffected.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Total simulated CPU threads across the cluster.
@@ -63,12 +77,10 @@ impl<G: Game> Searcher<G> for MultiNodeCpuSearcher<G> {
         let config = self.config.clone();
         let ranks = self.ranks;
         let tpr = self.threads_per_rank;
-        // One real worker per rank: the rank's trees are already virtual.
-        let workers_per_rank = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .div_ceil(ranks)
-            .max(1);
+        // Every rank shares the one persistent pool; concurrent scoped
+        // fan-outs are safe (the caller participates) and results are keyed
+        // by tree index, so sharing never affects them.
+        let pool = &self.pool;
 
         let plan = self.config.faults;
         type RankResult<M> = (SearchReport<M>, Option<Vec<RootStat<M>>>);
@@ -80,9 +92,12 @@ impl<G: Game> Searcher<G> for MultiNodeCpuSearcher<G> {
                 (empty_report(), None)
             } else {
                 let stream_base = (gen * ranks as u64 + rank) << 20;
-                let mut searcher =
-                    RootParallelSearcher::<G>::with_stream(config.clone(), tpr, stream_base)
-                        .with_workers(workers_per_rank);
+                let mut searcher = RootParallelSearcher::<G>::with_stream_on(
+                    config.clone(),
+                    tpr,
+                    stream_base,
+                    Arc::clone(pool),
+                );
                 let report = searcher.search(root, budget);
                 let contribution = if plan.drops_contribution(gen, rank) {
                     None

@@ -58,8 +58,11 @@ impl<G: Game> Searcher<G> for PersistentSearcher<G> {
         let mut tree = match self.carry.take() {
             Some(old) => match old.find_state(&root, self.reroot_depth) {
                 Some(id) => {
+                    // Compacting copy: surviving nodes move into fresh
+                    // dense arrays and slabs, so dead siblings' ranges are
+                    // dropped instead of accumulating across a game.
                     let sub = old.extract_subtree(id);
-                    self.last_reused_visits = sub.node(sub.root()).visits;
+                    self.last_reused_visits = sub.visits(sub.root());
                     sub
                 }
                 None => {
@@ -76,7 +79,7 @@ impl<G: Game> Searcher<G> for PersistentSearcher<G> {
         let mut tracker = BudgetTracker::new(budget);
         let mut phases = PhaseBreakdown::new();
         let mut simulations = 0;
-        if !tree.node(tree.root()).is_terminal() {
+        if !tree.is_terminal(tree.root()) {
             simulations = self.inner.run_on_tree(&mut tree, &mut tracker, &mut phases);
         }
         let report = SearchReport {
@@ -202,32 +205,27 @@ mod subtree_tests {
             &mut crate::telemetry::PhaseBreakdown::new(),
         );
 
-        let child = tree.node(tree.root()).children[0];
-        let child_visits = tree.node(child).visits;
-        let child_wins = tree.node(child).wins;
+        let child = tree.children(tree.root())[0];
+        let child_visits = tree.visits(child);
+        let child_wins = tree.wins(child);
         let sub = tree.extract_subtree(child);
 
-        assert_eq!(sub.node(sub.root()).visits, child_visits);
-        assert_eq!(sub.node(sub.root()).wins, child_wins);
-        assert_eq!(sub.node(sub.root()).depth, 0);
-        assert_eq!(sub.node(sub.root()).parent, None);
+        assert_eq!(sub.visits(sub.root()), child_visits);
+        assert_eq!(sub.wins(sub.root()), child_wins);
+        assert_eq!(sub.depth(sub.root()), 0);
+        assert_eq!(sub.parent(sub.root()), None);
         assert!(sub.len() <= tree.len());
         // Parent/depth links are consistent in the extracted tree.
         for id in 0..sub.len() as u32 {
-            for &c in &sub.node(id).children {
-                assert_eq!(sub.node(c).parent, Some(id));
-                assert_eq!(sub.node(c).depth, sub.node(id).depth + 1);
+            for &c in sub.children(id) {
+                assert_eq!(sub.parent(c), Some(id));
+                assert_eq!(sub.depth(c), sub.depth(id) + 1);
             }
         }
         // Child visit sums still bounded by parents.
         for id in 0..sub.len() as u32 {
-            let total: u64 = sub
-                .node(id)
-                .children
-                .iter()
-                .map(|&c| sub.node(c).visits)
-                .sum();
-            assert!(total <= sub.node(id).visits);
+            let total: u64 = sub.children(id).iter().map(|&c| sub.visits(c)).sum();
+            assert!(total <= sub.visits(id));
         }
     }
 
@@ -242,12 +240,12 @@ mod subtree_tests {
             &mut crate::telemetry::PhaseBreakdown::new(),
         );
 
-        let child = tree.node(tree.root()).children[0];
-        let state = tree.node(child).state;
+        let child = tree.children(tree.root())[0];
+        let state = *tree.state(child);
         let found = tree.find_state(&state, 2).expect("child state present");
-        assert_eq!(tree.node(found).state, state);
+        assert_eq!(*tree.state(found), state);
         // Depth restriction: the root itself is found at depth 0.
-        let root_state = tree.node(tree.root()).state;
+        let root_state = *tree.state(tree.root());
         assert_eq!(tree.find_state(&root_state, 0), Some(tree.root()));
     }
 }

@@ -17,7 +17,7 @@ use crate::telemetry::{critical_index, PhaseBreakdown};
 use crate::tree::{best_from_stats, merge_root_stats};
 use pmcts_games::Game;
 use pmcts_gpu_sim::WorkerPool;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Root-parallel CPU searcher: `n` independent trees, one per simulated
 /// CPU thread.
@@ -50,15 +50,33 @@ impl<G: Game> RootParallelSearcher<G> {
 
     /// Like [`new`](Self::new) with an explicit RNG stream base.
     pub fn with_stream(config: MctsConfig, threads: usize, stream_base: u64) -> Self {
-        assert!(threads > 0, "need at least one thread");
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-            .min(threads);
+            .min(threads.max(1));
+        Self::with_stream_on(
+            config,
+            threads,
+            stream_base,
+            Arc::new(WorkerPool::new(workers)),
+        )
+    }
+
+    /// Like [`with_stream`](Self::with_stream), but runs the trees on an
+    /// existing shared pool instead of spawning an owned one — no thread
+    /// creation at construction time. Virtual timing and results are
+    /// unaffected by the pool choice.
+    pub fn with_stream_on(
+        config: MctsConfig,
+        threads: usize,
+        stream_base: u64,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
+        assert!(threads > 0, "need at least one thread");
         RootParallelSearcher {
             config,
             threads,
-            pool: Arc::new(WorkerPool::new(workers)),
+            pool,
             stream_base,
             generation: 0,
             _game: std::marker::PhantomData,
@@ -103,40 +121,17 @@ impl<G: Game> Searcher<G> for RootParallelSearcher<G> {
         // survivor always exists.
         let plan = config.faults;
         let fault_key = base ^ gen.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, SearchReport<G::Move>)>> =
-            Mutex::new(Vec::with_capacity(trees));
-        let participants = self.pool.size().min(trees);
-        self.pool.run_scoped(participants, |_| {
-            let mut mine = Vec::new();
-            loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= trees {
-                    break;
-                }
-                if plan.component_dead(fault_key, i as u64) {
-                    mine.push((i, empty_report()));
-                    continue;
-                }
-                let stream = base
-                    .wrapping_add(i as u64)
-                    .wrapping_add(gen.wrapping_mul(0x1000 * 31));
-                let mut s = SequentialSearcher::<G>::with_stream(config.clone(), stream);
-                mine.push((i, s.search(root, budget)));
+        let mut slots: Vec<()> = vec![(); trees];
+        let reports: Vec<SearchReport<G::Move>> = self.pool.map_indexed(&mut slots, |i, ()| {
+            if plan.component_dead(fault_key, i as u64) {
+                return empty_report();
             }
-            collected
-                .lock()
-                .expect("tree collector poisoned")
-                .extend(mine);
+            let stream = base
+                .wrapping_add(i as u64)
+                .wrapping_add(gen.wrapping_mul(0x1000 * 31));
+            let mut s = SequentialSearcher::<G>::with_stream(config.clone(), stream);
+            s.search(root, budget)
         });
-        let mut reports: Vec<Option<SearchReport<G::Move>>> = (0..trees).map(|_| None).collect();
-        for (i, report) in collected.into_inner().expect("tree collector poisoned") {
-            reports[i] = Some(report);
-        }
-        let reports: Vec<SearchReport<G::Move>> = reports
-            .into_iter()
-            .map(|r| r.expect("tree searched"))
-            .collect();
 
         let merged = merge_root_stats(
             &reports

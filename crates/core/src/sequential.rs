@@ -59,7 +59,7 @@ impl<G: Game> SequentialSearcher<G> {
         let mut tracker = BudgetTracker::new(budget);
         let mut phases = PhaseBreakdown::new();
         let mut simulations = 0u64;
-        if !tree.node(tree.root()).is_terminal() {
+        if !tree.is_terminal(tree.root()) {
             simulations = self.run_on_tree(&mut tree, &mut tracker, &mut phases);
         }
         let report = SearchReport {
@@ -103,14 +103,14 @@ impl<G: Game> SequentialSearcher<G> {
     ) -> u64 {
         let cost = &self.config.cpu_cost;
         let selected = tree.select(self.config.exploration_c);
-        let node = if !tree.node(selected).fully_expanded() {
+        let node = if !tree.fully_expanded(selected) {
             phases.expansions += 1;
             tree.expand(selected, &mut self.rng)
         } else {
             selected // terminal leaf: re-sample its outcome
         };
-        let depth = tree.node(node).depth;
-        let result = random_playout(tree.node(node).state, &mut self.rng);
+        let depth = tree.depth(node);
+        let result = random_playout(*tree.state(node), &mut self.rng);
         let wins_p1 = result.reward_for(Player::P1);
         tree.backprop(node, wins_p1, 1);
         phases.select += cost.select_cost(depth);

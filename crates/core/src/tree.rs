@@ -1,84 +1,43 @@
-//! The arena-allocated search tree.
+//! The structure-of-arrays search tree.
 //!
-//! Nodes live in one contiguous `Vec` and refer to each other by `u32`
-//! index — no `Rc`/`RefCell` graphs, good locality, trivially cheap to drop
-//! between moves. The tree stores the *game state in every node* (all
-//! bundled games are tiny `Copy` bitboards), which keeps selection free of
-//! move re-application bugs at the cost of a few bytes per node.
+//! Node attributes live in dense parallel arrays indexed by `NodeId` — no
+//! `Rc`/`RefCell` graphs, no per-node heap boxes. The hot UCB fields
+//! (`visits`, `wins`) sit in their own arrays so a selection walk touches
+//! cache lines holding *only* the numbers it compares; cold attributes
+//! (state, parent, move, depth) stay out of the way in separate arrays.
+//! Children are stored as contiguous `(first, len)` ranges in one shared
+//! slab: each node's range is reserved at creation with capacity for every
+//! legal move, so expansion appends in place and **never allocates in the
+//! hot loop**. Untried moves use the same scheme in a second slab, which
+//! evicts the old 128-slot inline move buffer (~1 KiB per node) from the
+//! node representation entirely.
 //!
-//! Reward convention: `Node::wins` accumulates reward **for the player who
+//! The tree stores the *game state in every node* (all bundled games are
+//! tiny `Copy` bitboards), which keeps selection free of move
+//! re-application bugs at the cost of a few bytes per node.
+//!
+//! Reward convention: `wins[id]` accumulates reward **for the player who
 //! made the move leading into the node** (i.e. the parent's side to move).
 //! With that convention, selection at any node maximises UCB over its
 //! children using the children's own `wins` directly.
+//!
+//! Every operation is ordered exactly as the original array-of-structs
+//! layout ordered it (child iteration in push order, first-wins tie-breaks,
+//! `swap_remove` for untried moves, breadth-first subtree copies), so the
+//! rewrite is a pure layout change: same seed ⇒ bit-identical results. The
+//! original layout survives in [`crate::tree_aos`] as the equivalence
+//! oracle and benchmark baseline.
 
 use crate::config::FinalMoveRule;
-use crate::ucb::ucb1;
+use crate::ucb::ucb1_with_ln;
 use pmcts_games::{Game, MoveBuf, Player};
 use pmcts_util::Rng64;
 
 /// Index of a node within its [`SearchTree`]. The root is always 0.
 pub type NodeId = u32;
 
-/// One node of the search tree.
-#[derive(Clone, Debug)]
-pub struct Node<G: Game> {
-    /// Game state at this node.
-    pub state: G,
-    /// Parent node; `None` for the root.
-    pub parent: Option<NodeId>,
-    /// Move that led from the parent to this node; `None` for the root.
-    pub mv: Option<G::Move>,
-    /// Expanded children.
-    pub children: Vec<NodeId>,
-    /// Legal moves not yet expanded into children.
-    pub untried: MoveBuf<G::Move>,
-    /// Number of simulations that have passed through this node.
-    pub visits: u64,
-    /// Accumulated reward for the player who moved into this node
-    /// (draws contribute ½).
-    pub wins: f64,
-    /// Distance from the root.
-    pub depth: u32,
-}
-
-impl<G: Game> Node<G> {
-    fn new(state: G, parent: Option<NodeId>, mv: Option<G::Move>, depth: u32) -> Self {
-        let mut untried = MoveBuf::new();
-        state.legal_moves(&mut untried);
-        Node {
-            state,
-            parent,
-            mv,
-            children: Vec::new(),
-            untried,
-            visits: 0,
-            wins: 0.0,
-            depth,
-        }
-    }
-
-    /// Whether every legal move has been expanded.
-    #[inline]
-    pub fn fully_expanded(&self) -> bool {
-        self.untried.is_empty()
-    }
-
-    /// Whether the node's state is terminal (no legal moves at creation).
-    #[inline]
-    pub fn is_terminal(&self) -> bool {
-        self.untried.is_empty() && self.children.is_empty()
-    }
-
-    /// Mean reward of this node (½ when unvisited).
-    #[inline]
-    pub fn mean(&self) -> f64 {
-        if self.visits == 0 {
-            0.5
-        } else {
-            self.wins / self.visits as f64
-        }
-    }
-}
+/// Sentinel for "no parent" in the dense parent array.
+const NO_NODE: NodeId = NodeId::MAX;
 
 /// Aggregated statistics for one root move — the unit merged across trees
 /// by root/block/multi-GPU parallelism ("the root node has to be updated by
@@ -93,20 +52,112 @@ pub struct RootStat<M> {
     pub wins: f64,
 }
 
-/// An arena-allocated MCTS tree.
+/// A structure-of-arrays MCTS tree.
+///
+/// All per-node attribute vectors are indexed by [`NodeId`] and always have
+/// identical lengths. `child_slab` / `move_slab` hold every node's children
+/// and untried moves as contiguous ranges addressed by the `(first, len)`
+/// columns.
 #[derive(Clone, Debug)]
 pub struct SearchTree<G: Game> {
-    nodes: Vec<Node<G>>,
+    // Hot columns: everything a UCB selection walk reads.
+    visits: Vec<u64>,
+    wins: Vec<f64>,
+    child_first: Vec<u32>,
+    child_len: Vec<u16>,
+    untried_len: Vec<u16>,
+    // Cold columns.
+    untried_first: Vec<u32>,
+    parent: Vec<NodeId>,
+    mv: Vec<G::Move>,
+    depth: Vec<u32>,
+    state: Vec<G>,
+    // Shared slabs. A node's child range is reserved at creation with
+    // capacity for all of its legal moves, so `child_len` grows in place.
+    child_slab: Vec<NodeId>,
+    move_slab: Vec<G::Move>,
     max_depth: u32,
 }
 
 impl<G: Game> SearchTree<G> {
     /// Creates a tree containing only the root.
     pub fn new(root_state: G) -> Self {
-        SearchTree {
-            nodes: vec![Node::new(root_state, None, None, 0)],
+        let mut tree = SearchTree {
+            visits: Vec::new(),
+            wins: Vec::new(),
+            child_first: Vec::new(),
+            child_len: Vec::new(),
+            untried_len: Vec::new(),
+            untried_first: Vec::new(),
+            parent: Vec::new(),
+            mv: Vec::new(),
+            depth: Vec::new(),
+            state: Vec::new(),
+            child_slab: Vec::new(),
+            move_slab: Vec::new(),
             max_depth: 0,
-        }
+        };
+        tree.push_node(root_state, NO_NODE, G::Move::default(), 0);
+        tree
+    }
+
+    /// Appends a fresh node, reserving slab ranges sized to its legal-move
+    /// count so later expansions of this node never reallocate.
+    fn push_node(&mut self, state: G, parent: NodeId, mv: G::Move, depth: u32) -> NodeId {
+        let id = self.visits.len() as NodeId;
+        let mut legal = MoveBuf::new();
+        state.legal_moves(&mut legal);
+        let n = legal.len();
+        let child_first = self.child_slab.len() as u32;
+        self.child_slab.resize(self.child_slab.len() + n, NO_NODE);
+        let untried_first = self.move_slab.len() as u32;
+        self.move_slab.extend_from_slice(legal.as_slice());
+        self.visits.push(0);
+        self.wins.push(0.0);
+        self.child_first.push(child_first);
+        self.child_len.push(0);
+        self.untried_len.push(n as u16);
+        self.untried_first.push(untried_first);
+        self.parent.push(parent);
+        self.mv.push(mv);
+        self.depth.push(depth);
+        self.state.push(state);
+        self.max_depth = self.max_depth.max(depth);
+        id
+    }
+
+    /// Copies node `src_id` of `src` (statistics, untried moves, state) as a
+    /// new child of `parent`, rebasing its depth. Children are linked later
+    /// as the copy walk reaches them; the reserved capacity is the node's
+    /// full legal-move count (`untried + children`).
+    fn copy_node(&mut self, src: &SearchTree<G>, src_id: NodeId, parent: NodeId) -> NodeId {
+        let s = src_id as usize;
+        let id = self.visits.len() as NodeId;
+        let untried = src.untried_len[s] as usize;
+        let cap = untried + src.child_len[s] as usize;
+        let child_first = self.child_slab.len() as u32;
+        self.child_slab.resize(self.child_slab.len() + cap, NO_NODE);
+        let untried_first = self.move_slab.len() as u32;
+        let sb = src.untried_first[s] as usize;
+        self.move_slab
+            .extend_from_slice(&src.move_slab[sb..sb + untried]);
+        let depth = self.depth[parent as usize] + 1;
+        self.visits.push(src.visits[s]);
+        self.wins.push(src.wins[s]);
+        self.child_first.push(child_first);
+        self.child_len.push(0);
+        self.untried_len.push(untried as u16);
+        self.untried_first.push(untried_first);
+        self.parent.push(parent);
+        self.mv.push(src.mv[s]);
+        self.depth.push(depth);
+        self.state.push(src.state[s]);
+        let slot =
+            self.child_first[parent as usize] as usize + self.child_len[parent as usize] as usize;
+        self.child_slab[slot] = id;
+        self.child_len[parent as usize] += 1;
+        self.max_depth = self.max_depth.max(depth);
+        id
     }
 
     /// The root node id (always 0).
@@ -118,13 +169,13 @@ impl<G: Game> SearchTree<G> {
     /// Node count.
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.visits.len()
     }
 
     /// Whether the tree holds only the root.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() <= 1
+        self.visits.len() <= 1
     }
 
     /// Deepest node created so far.
@@ -133,34 +184,129 @@ impl<G: Game> SearchTree<G> {
         self.max_depth
     }
 
-    /// Immutable node access.
+    /// Number of simulations that have passed through `id`.
     #[inline]
-    pub fn node(&self, id: NodeId) -> &Node<G> {
-        &self.nodes[id as usize]
+    pub fn visits(&self, id: NodeId) -> u64 {
+        self.visits[id as usize]
     }
 
-    /// Mutable node access.
+    /// Accumulated reward for the player who moved into `id`.
     #[inline]
-    pub fn node_mut(&mut self, id: NodeId) -> &mut Node<G> {
-        &mut self.nodes[id as usize]
+    pub fn wins(&self, id: NodeId) -> f64 {
+        self.wins[id as usize]
+    }
+
+    /// Distance from the root.
+    #[inline]
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.depth[id as usize]
+    }
+
+    /// Parent of `id`; `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        let p = self.parent[id as usize];
+        if p == NO_NODE {
+            None
+        } else {
+            Some(p)
+        }
+    }
+
+    /// Move that led from the parent into `id`; `None` for the root.
+    #[inline]
+    pub fn move_into(&self, id: NodeId) -> Option<G::Move> {
+        if self.parent[id as usize] == NO_NODE {
+            None
+        } else {
+            Some(self.mv[id as usize])
+        }
+    }
+
+    /// Game state at `id`.
+    #[inline]
+    pub fn state(&self, id: NodeId) -> &G {
+        &self.state[id as usize]
+    }
+
+    /// Expanded children of `id`, in expansion order.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        let first = self.child_first[id as usize] as usize;
+        &self.child_slab[first..first + self.child_len[id as usize] as usize]
+    }
+
+    /// Legal moves of `id` not yet expanded into children.
+    #[inline]
+    pub fn untried(&self, id: NodeId) -> &[G::Move] {
+        let first = self.untried_first[id as usize] as usize;
+        &self.move_slab[first..first + self.untried_len[id as usize] as usize]
+    }
+
+    /// Number of untried moves at `id`.
+    #[inline]
+    pub fn untried_len(&self, id: NodeId) -> usize {
+        self.untried_len[id as usize] as usize
+    }
+
+    /// Whether every legal move of `id` has been expanded.
+    #[inline]
+    pub fn fully_expanded(&self, id: NodeId) -> bool {
+        self.untried_len[id as usize] == 0
+    }
+
+    /// Whether `id`'s state is terminal (no legal moves at creation).
+    #[inline]
+    pub fn is_terminal(&self, id: NodeId) -> bool {
+        self.untried_len[id as usize] == 0 && self.child_len[id as usize] == 0
+    }
+
+    /// Mean reward of `id` (½ when unvisited).
+    #[inline]
+    pub fn mean(&self, id: NodeId) -> f64 {
+        let visits = self.visits[id as usize];
+        if visits == 0 {
+            0.5
+        } else {
+            self.wins[id as usize] / visits as f64
+        }
+    }
+
+    /// Adds `n` to `id`'s visit count without touching ancestors. Used by
+    /// tree parallelism for virtual loss marking.
+    #[inline]
+    pub fn add_visits(&mut self, id: NodeId, n: u64) {
+        self.visits[id as usize] += n;
+    }
+
+    /// Removes `n` from `id`'s visit count (virtual loss unmarking).
+    #[inline]
+    pub fn sub_visits(&mut self, id: NodeId, n: u64) {
+        self.visits[id as usize] -= n;
     }
 
     /// MCTS **selection** (paper §II.1): descends from the root choosing
     /// UCB-maximal children while nodes are fully expanded, returning the
     /// first node that still has untried moves (or a terminal node).
+    ///
+    /// The walk reads one contiguous child-id slice per level and hoists
+    /// `ln(parent_visits)` out of the per-child loop ([`ucb1_with_ln`]).
     pub fn select(&self, exploration_c: f64) -> NodeId {
         let mut id = self.root();
         loop {
-            let node = self.node(id);
-            if !node.fully_expanded() || node.children.is_empty() {
+            let i = id as usize;
+            let n_children = self.child_len[i] as usize;
+            if self.untried_len[i] != 0 || n_children == 0 {
                 return id;
             }
-            let parent_visits = node.visits;
-            let mut best = node.children[0];
+            let first = self.child_first[i] as usize;
+            let children = &self.child_slab[first..first + n_children];
+            let ln_parent = (self.visits[i].max(1) as f64).ln();
+            let mut best = children[0];
             let mut best_value = f64::NEG_INFINITY;
-            for &child in &node.children {
-                let c = self.node(child);
-                let value = ucb1(parent_visits, c.visits, c.wins, exploration_c);
+            for &child in children {
+                let c = child as usize;
+                let value = ucb1_with_ln(ln_parent, self.visits[c], self.wins[c], exploration_c);
                 if value > best_value {
                     best_value = value;
                     best = child;
@@ -177,22 +323,39 @@ impl<G: Game> SearchTree<G> {
     /// # Panics
     /// Panics if `id` has no untried moves.
     pub fn expand<R: Rng64>(&mut self, id: NodeId, rng: &mut R) -> NodeId {
-        let child_id = self.nodes.len() as NodeId;
-        let (state, depth) = {
-            let node = self.node_mut(id);
-            assert!(!node.untried.is_empty(), "expand on fully expanded node");
-            let pick = rng.next_below(node.untried.len() as u32) as usize;
-            let mv = node.untried.swap_remove(pick);
-            let mut state = node.state;
-            state.apply(mv);
-            node.children.push(child_id);
-            let depth = node.depth + 1;
-            self.nodes.push(Node::new(state, Some(id), Some(mv), depth));
-            (state, depth)
-        };
-        let _ = state;
-        self.max_depth = self.max_depth.max(depth);
-        child_id
+        let n = self.untried_len[id as usize];
+        assert!(n != 0, "expand on fully expanded node");
+        let pick = rng.next_below(n as u32);
+        self.expand_with_pick(id, pick)
+    }
+
+    /// Expansion with the untried-move index already drawn. This is the
+    /// seam that lets pool-parallel searchers draw all of an iteration's
+    /// picks from the shared RNG sequentially (preserving the exact draw
+    /// order of the sequential schedule) and then expand trees in parallel.
+    ///
+    /// # Panics
+    /// Panics if `id` has no untried moves or `pick` is out of range.
+    pub fn expand_with_pick(&mut self, id: NodeId, pick: u32) -> NodeId {
+        let i = id as usize;
+        let n = self.untried_len[i] as usize;
+        assert!(n != 0, "expand on fully expanded node");
+        let pick = pick as usize;
+        assert!(pick < n, "expansion pick out of range");
+        let base = self.untried_first[i] as usize;
+        // Same removal order as `ArrayVec::swap_remove` in the original
+        // layout: the last untried move fills the vacated slot.
+        let mv = self.move_slab[base + pick];
+        self.move_slab[base + pick] = self.move_slab[base + n - 1];
+        self.untried_len[i] = (n - 1) as u16;
+        let mut state = self.state[i];
+        state.apply(mv);
+        let depth = self.depth[i] + 1;
+        let child_id = self.visits.len() as NodeId;
+        let slot = self.child_first[i] as usize + self.child_len[i] as usize;
+        self.child_slab[slot] = child_id;
+        self.child_len[i] += 1;
+        self.push_node(state, id, mv, depth)
     }
 
     /// MCTS **backpropagation** (paper §II.4) of a batch of simulations.
@@ -202,21 +365,24 @@ impl<G: Game> SearchTree<G> {
     /// and its `wins` by the reward of the player who moved into it.
     pub fn backprop(&mut self, from: NodeId, wins_p1: f64, count: u64) {
         debug_assert!(wins_p1 >= 0.0 && wins_p1 <= count as f64);
-        let mut id = Some(from);
-        while let Some(cur) = id {
-            let parent = self.node(cur).parent;
-            let reward = match parent {
-                // Perspective: the player who moved into `cur`.
-                Some(p) => match self.node(p).state.to_move() {
+        let mut id = from;
+        loop {
+            let parent = self.parent[id as usize];
+            let reward = if parent == NO_NODE {
+                // The root has no mover; only visits matter there.
+                0.0
+            } else {
+                // Perspective: the player who moved into `id`.
+                match self.state[parent as usize].to_move() {
                     Player::P1 => wins_p1,
                     Player::P2 => count as f64 - wins_p1,
-                },
-                // The root has no mover; only visits matter there.
-                None => 0.0,
+                }
             };
-            let node = self.node_mut(cur);
-            node.visits += count;
-            node.wins += reward;
+            self.visits[id as usize] += count;
+            self.wins[id as usize] += reward;
+            if parent == NO_NODE {
+                return;
+            }
             id = parent;
         }
     }
@@ -225,20 +391,16 @@ impl<G: Game> SearchTree<G> {
     /// expressed for the **root player** (the side to move at the root), so
     /// stats from different trees over the same position merge by addition.
     pub fn root_stats(&self) -> Vec<RootStat<G::Move>> {
-        let root_player = self.node(self.root()).state.to_move();
-        self.node(self.root())
-            .children
+        self.children(self.root())
             .iter()
             .map(|&c| {
-                let n = self.node(c);
-                // `n.wins` is reward for the mover into `c`, which IS the
+                // `wins[c]` is reward for the mover into `c`, which IS the
                 // root player for depth-1 children.
-                debug_assert_eq!(n.depth, 1);
-                let _ = root_player;
+                debug_assert_eq!(self.depth[c as usize], 1);
                 RootStat {
-                    mv: n.mv.expect("non-root node has a move"),
-                    visits: n.visits,
-                    wins: n.wins,
+                    mv: self.mv[c as usize],
+                    visits: self.visits[c as usize],
+                    wins: self.wins[c as usize],
                 }
             })
             .collect()
@@ -253,40 +415,36 @@ impl<G: Game> SearchTree<G> {
     /// node (statistics preserved, depths rebased). This is the *tree
     /// reuse* operation: after playing a move, the played child's subtree
     /// carries over to the next search instead of starting cold.
+    ///
+    /// The copy is compacting: surviving nodes are renumbered breadth-first
+    /// into fresh dense arrays and fresh slabs, so a long game never drags
+    /// dead siblings' slab ranges along.
     pub fn extract_subtree(&self, id: NodeId) -> SearchTree<G> {
-        let src_root = self.node(id);
-        let mut out = SearchTree::new(src_root.state);
-        // Copy the root's statistics and expansion state.
-        {
-            let root = out.node_mut(0);
-            root.visits = src_root.visits;
-            root.wins = src_root.wins;
-            root.untried = src_root.untried;
-            root.children.clear();
-        }
-        // Breadth-first copy with an explicit (source, dest) queue.
+        let s = id as usize;
+        let mut out = SearchTree::new(self.state[s]);
+        // Copy the root's statistics and expansion state. The fresh root's
+        // untried range was reserved for the full legal-move count, which
+        // bounds the source's remaining untried moves, so the copy fits.
+        out.visits[0] = self.visits[s];
+        out.wins[0] = self.wins[s];
+        let untried = self.untried_len[s] as usize;
+        let sb = self.untried_first[s] as usize;
+        let db = out.untried_first[0] as usize;
+        out.move_slab[db..db + untried].copy_from_slice(&self.move_slab[sb..sb + untried]);
+        out.untried_len[0] = untried as u16;
+        // Breadth-first copy with an explicit (source, dest) queue — the
+        // same visit order as the original layout, so surviving nodes get
+        // identical ids.
         let mut queue: Vec<(NodeId, NodeId)> = vec![(id, 0)];
         let mut head = 0;
         while head < queue.len() {
             let (src_id, dst_id) = queue[head];
             head += 1;
-            let children = self.node(src_id).children.clone();
-            for src_child in children {
-                let src = self.node(src_child);
-                let dst_child = out.nodes.len() as NodeId;
-                let depth = out.node(dst_id).depth + 1;
-                out.nodes.push(Node {
-                    state: src.state,
-                    parent: Some(dst_id),
-                    mv: src.mv,
-                    children: Vec::new(),
-                    untried: src.untried,
-                    visits: src.visits,
-                    wins: src.wins,
-                    depth,
-                });
-                out.node_mut(dst_id).children.push(dst_child);
-                out.max_depth = out.max_depth.max(depth);
+            let first = self.child_first[src_id as usize] as usize;
+            let n_children = self.child_len[src_id as usize] as usize;
+            for k in 0..n_children {
+                let src_child = self.child_slab[first + k];
+                let dst_child = out.copy_node(self, src_child, dst_id);
                 queue.push((src_child, dst_child));
             }
         }
@@ -297,12 +455,9 @@ impl<G: Game> SearchTree<G> {
     /// most `max_depth` plies below the root. Used by tree reuse to locate
     /// the position reached after our move and the opponent's reply.
     pub fn find_state(&self, state: &G, max_depth: u32) -> Option<NodeId> {
-        (0..self.nodes.len() as NodeId)
-            .filter(|&id| {
-                let n = self.node(id);
-                n.depth <= max_depth && n.state == *state
-            })
-            .max_by_key(|&id| self.node(id).visits)
+        (0..self.len() as NodeId)
+            .filter(|&id| self.depth[id as usize] <= max_depth && self.state[id as usize] == *state)
+            .max_by_key(|&id| self.visits[id as usize])
     }
 }
 
@@ -319,7 +474,7 @@ pub fn best_from_stats<M: Copy>(stats: &[RootStat<M>], rule: FinalMoveRule) -> O
         FinalMoveRule::MaxChild => stats
             .iter()
             .max_by(|a, b| {
-                // Unvisited moves score ½, matching `Node::mean`: an
+                // Unvisited moves score ½, matching `SearchTree::mean`: an
                 // unsampled move is unknown, not lost.
                 let ma = if a.visits == 0 {
                     0.5
@@ -367,8 +522,8 @@ mod tests {
     fn new_tree_has_untried_root_moves() {
         let t = SearchTree::new(Reversi::initial());
         assert_eq!(t.len(), 1);
-        assert_eq!(t.node(t.root()).untried.len(), 4);
-        assert!(!t.node(t.root()).fully_expanded());
+        assert_eq!(t.untried_len(t.root()), 4);
+        assert!(!t.fully_expanded(t.root()));
         assert_eq!(t.max_depth(), 0);
     }
 
@@ -384,7 +539,7 @@ mod tests {
         // Now fully expanded: selection must descend to a child.
         let picked = t.select(1.4);
         assert_ne!(picked, t.root());
-        assert_eq!(t.node(picked).depth, 1);
+        assert_eq!(t.depth(picked), 1);
     }
 
     #[test]
@@ -393,12 +548,44 @@ mod tests {
         let mut rng = Xoshiro256pp::new(2);
         let c = t.expand(t.root(), &mut rng);
         assert_eq!(t.len(), 2);
-        assert_eq!(t.node(t.root()).untried.len(), 3);
-        assert_eq!(t.node(t.root()).children, vec![c]);
-        assert_eq!(t.node(c).parent, Some(t.root()));
-        assert_eq!(t.node(c).depth, 1);
-        assert!(t.node(c).mv.is_some());
+        assert_eq!(t.untried_len(t.root()), 3);
+        assert_eq!(t.children(t.root()), &[c]);
+        assert_eq!(t.parent(c), Some(t.root()));
+        assert_eq!(t.depth(c), 1);
+        assert!(t.move_into(c).is_some());
         assert_eq!(t.max_depth(), 1);
+    }
+
+    #[test]
+    fn expansion_never_grows_a_reserved_child_range() {
+        // Fully expand the root and one child: every child id must land in
+        // the range reserved at node creation (no reallocation, ranges stay
+        // contiguous and disjoint).
+        let mut t = SearchTree::new(Reversi::initial());
+        let mut rng = Xoshiro256pp::new(9);
+        let total = t.untried_len(t.root());
+        for _ in 0..total {
+            t.expand(t.root(), &mut rng);
+        }
+        assert!(t.fully_expanded(t.root()));
+        assert_eq!(t.children(t.root()).len(), total);
+        let first_child = t.children(t.root())[0];
+        let n = t.untried_len(first_child);
+        for _ in 0..n {
+            t.expand(first_child, &mut rng);
+        }
+        assert_eq!(t.children(first_child).len(), n);
+        // All ids distinct and in-bounds.
+        let mut seen: Vec<NodeId> = t
+            .children(t.root())
+            .iter()
+            .chain(t.children(first_child))
+            .copied()
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), total + n);
+        assert!(seen.iter().all(|&id| (id as usize) < t.len()));
     }
 
     #[test]
@@ -410,13 +597,13 @@ mod tests {
         let gc = t.expand(c, &mut rng);
         // 10 simulations, 7 won by P1.
         t.backprop(gc, 7.0, 10);
-        assert_eq!(t.node(t.root()).visits, 10);
-        assert_eq!(t.node(c).visits, 10);
-        assert_eq!(t.node(gc).visits, 10);
+        assert_eq!(t.visits(t.root()), 10);
+        assert_eq!(t.visits(c), 10);
+        assert_eq!(t.visits(gc), 10);
         // Mover into c is P1 (root player) -> wins = 7.
-        assert_eq!(t.node(c).wins, 7.0);
+        assert_eq!(t.wins(c), 7.0);
         // Mover into gc is P2 -> wins = 3.
-        assert_eq!(t.node(gc).wins, 3.0);
+        assert_eq!(t.wins(gc), 3.0);
     }
 
     #[test]
@@ -430,7 +617,7 @@ mod tests {
         let stats = t.root_stats();
         assert_eq!(stats.len(), 2);
         let best = t.best_move(FinalMoveRule::RobustChild).unwrap();
-        assert_eq!(best, t.node(b).mv.unwrap(), "robust child = most visited");
+        assert_eq!(best, t.move_into(b).unwrap(), "robust child = most visited");
         // MaxChild picks the higher mean: a: 1/2=0.5, b: 5/6≈0.83 -> still b.
         assert_eq!(t.best_move(FinalMoveRule::MaxChild).unwrap(), best);
     }
@@ -457,7 +644,7 @@ mod tests {
     fn max_child_scores_unvisited_moves_half_like_node_mean() {
         // mv 0 has a measured mean of 0.3; mv 1 was never sampled. Under
         // the old 0.0 convention MaxChild would pick mv 0; with the ½
-        // convention (matching `Node::mean`) the unknown move wins.
+        // convention (matching `SearchTree::mean`) the unknown move wins.
         let stats = vec![
             RootStat {
                 mv: 0u8,
@@ -512,7 +699,7 @@ mod tests {
     fn terminal_nodes_are_recognised() {
         let s = TicTacToe::parse("XXX OO. ...", pmcts_games::Player::P2).unwrap();
         let t = SearchTree::new(s);
-        assert!(t.node(t.root()).is_terminal());
+        assert!(t.is_terminal(t.root()));
         assert_eq!(t.select(1.4), t.root());
     }
 
@@ -531,5 +718,47 @@ mod tests {
         for _ in 0..10 {
             t.expand(t.root(), &mut rng);
         }
+    }
+
+    #[test]
+    fn expand_with_pick_matches_rng_expand() {
+        // `expand(rng)` must be exactly `expand_with_pick(rng draw)`.
+        let mut a = SearchTree::new(Reversi::initial());
+        let mut b = SearchTree::new(Reversi::initial());
+        let mut rng_a = Xoshiro256pp::new(6);
+        let mut rng_b = Xoshiro256pp::new(6);
+        for _ in 0..4 {
+            let ca = a.expand(a.root(), &mut rng_a);
+            let pick = rng_b.next_below(b.untried_len(b.root()) as u32);
+            let cb = b.expand_with_pick(b.root(), pick);
+            assert_eq!(ca, cb);
+            assert_eq!(a.move_into(ca), b.move_into(cb));
+            assert_eq!(a.untried(a.root()), b.untried(b.root()));
+        }
+    }
+
+    #[test]
+    fn extract_subtree_compacts_and_preserves_stats() {
+        let mut t = SearchTree::new(Reversi::initial());
+        let mut rng = Xoshiro256pp::new(8);
+        // Grow a small tree.
+        for _ in 0..40 {
+            let sel = t.select(1.4);
+            let node = if !t.fully_expanded(sel) {
+                t.expand(sel, &mut rng)
+            } else {
+                sel
+            };
+            t.backprop(node, 0.5, 1);
+        }
+        let child = t.children(t.root())[0];
+        let sub = t.extract_subtree(child);
+        assert_eq!(sub.visits(0), t.visits(child));
+        assert_eq!(sub.wins(0).to_bits(), t.wins(child).to_bits());
+        assert_eq!(sub.depth(0), 0);
+        assert_eq!(sub.untried(0), t.untried(child));
+        assert_eq!(sub.children(0).len(), t.children(child).len());
+        // Compaction: the new slabs only hold surviving nodes' ranges.
+        assert!(sub.len() < t.len());
     }
 }

@@ -68,16 +68,15 @@ impl<G: Game> TreeParallelSearcher<G> {
         let mut id = tree.root();
         let mut path = vec![id];
         loop {
-            let node = tree.node(id);
-            if !node.fully_expanded() || node.children.is_empty() {
+            let children = tree.children(id);
+            if !tree.fully_expanded(id) || children.is_empty() {
                 break;
             }
-            let parent_visits = node.visits;
-            let mut best = node.children[0];
+            let parent_visits = tree.visits(id);
+            let mut best = children[0];
             let mut best_value = f64::NEG_INFINITY;
-            for &child in &node.children {
-                let ch = tree.node(child);
-                let value = ucb1(parent_visits, ch.visits, ch.wins, c);
+            for &child in children {
+                let value = ucb1(parent_visits, tree.visits(child), tree.wins(child), c);
                 if value > best_value {
                     best_value = value;
                     best = child;
@@ -87,15 +86,14 @@ impl<G: Game> TreeParallelSearcher<G> {
             path.push(id);
         }
         let mut expanded = false;
-        if !tree.node(id).fully_expanded() {
+        if !tree.fully_expanded(id) {
             id = tree.expand(id, rng);
             path.push(id);
             expanded = true;
         }
         // Virtual loss: pretend `vl` lost simulations along the path.
         for &n in &path {
-            let node = tree.node_mut(n);
-            node.visits += vl;
+            tree.add_visits(n, vl);
         }
         (id, path, expanded)
     }
@@ -103,7 +101,7 @@ impl<G: Game> TreeParallelSearcher<G> {
     /// Removes the virtual loss and applies the real result.
     fn unmark_and_backprop(tree: &mut SearchTree<G>, path: &[u32], vl: u64, wins_p1: f64) {
         for &n in path {
-            tree.node_mut(n).visits -= vl;
+            tree.sub_visits(n, vl);
         }
         let leaf = *path.last().expect("non-empty path");
         tree.backprop(leaf, wins_p1, 1);
@@ -119,7 +117,7 @@ impl<G: Game> Searcher<G> for TreeParallelSearcher<G> {
         let vl = self.virtual_loss;
         let gen = self.generation;
 
-        let terminal = tree.lock().node(0).is_terminal();
+        let terminal = tree.lock().is_terminal(0);
         let mut worker_results: Vec<(SimTime, PhaseBreakdown)> = Vec::new();
         if !terminal {
             crossbeam::thread::scope(|scope| {
@@ -163,7 +161,7 @@ impl<G: Game> Searcher<G> for TreeParallelSearcher<G> {
                                 };
                                 let (state, depth) = {
                                     let t = tree.lock();
-                                    (t.node(node).state, t.node(node).depth)
+                                    (*t.state(node), t.depth(node))
                                 };
                                 let result = random_playout(state, &mut rng);
                                 let wins_p1 = result.reward_for(Player::P1);

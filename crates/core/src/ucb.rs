@@ -13,12 +13,28 @@
 /// moves in a separate untried list, making this a safety net).
 #[inline]
 pub fn ucb1(parent_visits: u64, child_visits: u64, child_wins: f64, c: f64) -> f64 {
+    ucb1_with_ln(
+        (parent_visits.max(1) as f64).ln(),
+        child_visits,
+        child_wins,
+        c,
+    )
+}
+
+/// UCB1 with `ln T` precomputed by the caller.
+///
+/// `ln T` depends only on the parent, so selection hoists it out of the
+/// per-child loop; one `ln` per node instead of one per child. The floating
+/// point expression is otherwise identical to [`ucb1`], so values (and
+/// therefore every selection decision) are bit-identical.
+#[inline]
+pub fn ucb1_with_ln(ln_parent_visits: f64, child_visits: u64, child_wins: f64, c: f64) -> f64 {
     if child_visits == 0 {
         return f64::INFINITY;
     }
     let t = child_visits as f64;
     let exploit = child_wins / t;
-    let explore = c * ((parent_visits.max(1) as f64).ln() / t).sqrt();
+    let explore = c * (ln_parent_visits / t).sqrt();
     exploit + explore
 }
 
@@ -66,5 +82,19 @@ mod tests {
     fn zero_parent_visits_is_safe() {
         let v = ucb1(0, 1, 1.0, 1.4);
         assert!(v.is_finite());
+    }
+
+    #[test]
+    fn hoisted_ln_is_bit_identical_to_ucb1() {
+        for parent in [0u64, 1, 2, 10, 1_000, 123_456_789] {
+            let ln = (parent.max(1) as f64).ln();
+            for (visits, wins) in [(0u64, 0.0), (1, 0.5), (7, 3.0), (1_000, 420.5)] {
+                for c in [0.0, 0.5, 1.4, 5.0] {
+                    let a = ucb1(parent, visits, wins, c);
+                    let b = ucb1_with_ln(ln, visits, wins, c);
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 }

@@ -12,9 +12,12 @@
 
 use pmcts_core::gpu::PlayoutKernel;
 use pmcts_core::prelude::*;
+use pmcts_core::tree::SearchTree;
 use pmcts_gpu_sim::executor::execute_kernel_lockstep;
 use pmcts_gpu_sim::WorkerPool;
 use pmcts_mpi_sim::NetworkModel;
+use pmcts_util::Xoshiro256pp;
+use proptest::prelude::*;
 use std::sync::Arc;
 
 const HOST_THREADS: [usize; 3] = [1, 2, 8];
@@ -268,6 +271,17 @@ fn multi_node_cpu_with_faults_identical_across_runs() {
 }
 
 #[test]
+fn multi_node_cpu_identical_across_host_threads() {
+    // The shared host pool must never leak into results.
+    assert_reports_identical("multi-node-cpu", SearchBudget::Iterations(10), |t| {
+        Box::new(
+            MultiNodeCpuSearcher::new(cfg(47), 2, 4, NetworkModel::infiniband())
+                .with_pool(Arc::new(WorkerPool::new(t))),
+        )
+    });
+}
+
+#[test]
 fn sequential_and_persistent_identical_across_runs() {
     let seq = || {
         SequentialSearcher::<Reversi>::new(cfg(28))
@@ -279,4 +293,102 @@ fn sequential_and_persistent_identical_across_runs() {
             .search(Reversi::initial(), SearchBudget::Iterations(60))
     };
     assert_eq!(per(), per());
+}
+
+// ---- 4. Re-rooted persistent searches across host-thread counts ----------
+
+/// Plays a short game where our moves come from a tree-reusing persistent
+/// searcher and the opponent's replies from a block-parallel search run at
+/// `threads` host workers. Every search a re-rooted persistent tree feeds
+/// is downstream of the device pool, so the whole transcript — including
+/// the compacting-copy re-roots — must be bit-identical across the
+/// [`HOST_THREADS`] sweep.
+fn persistent_reroot_transcript(
+    threads: usize,
+) -> Vec<(SearchReport<pmcts_games::ReversiMove>, u64)> {
+    let mut ours = PersistentSearcher::<Reversi>::new(cfg(37));
+    let mut opp = BlockParallelSearcher::new(cfg(38), device(threads), LaunchConfig::new(4, 32));
+    let mut state = Reversi::initial();
+    let mut transcript = Vec::new();
+    for _ in 0..3 {
+        let r = ours.search(state, SearchBudget::Iterations(150));
+        transcript.push((r.clone(), ours.last_reused_visits()));
+        let Some(mv) = r.best_move else { break };
+        state.apply(mv);
+        let Some(reply) = opp.search(state, SearchBudget::Iterations(4)).best_move else {
+            break;
+        };
+        state.apply(reply);
+    }
+    transcript
+}
+
+#[test]
+fn persistent_reroot_identical_across_host_threads() {
+    let baseline = persistent_reroot_transcript(HOST_THREADS[0]);
+    assert!(
+        baseline.last().expect("non-empty game").1 > 0,
+        "re-rooting must inherit simulations from the previous move's tree"
+    );
+    for &threads in &HOST_THREADS[1..] {
+        assert_eq!(
+            baseline,
+            persistent_reroot_transcript(threads),
+            "re-rooted transcript changed at {threads} host threads"
+        );
+    }
+}
+
+// ---- 5. Re-root compaction preserves every surviving node ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `extract_subtree` (the persistent searcher's re-root) is a
+    /// compacting copy into fresh slabs: every node surviving the re-root
+    /// must keep its exact `(visits, wins, depth)` triple, its untried
+    /// moves, its state and its child structure — nothing else survives.
+    #[test]
+    fn reroot_compaction_preserves_surviving_subtrees(
+        seed in any::<u64>(),
+        iters in 30usize..250,
+        pick in 0usize..8,
+    ) {
+        let mut tree = SearchTree::new(Reversi::initial());
+        let mut rng = Xoshiro256pp::new(seed);
+        for i in 0..iters {
+            let id = tree.select(1.4);
+            let node = if !tree.fully_expanded(id) {
+                tree.expand(id, &mut rng)
+            } else {
+                id
+            };
+            tree.backprop(node, (i % 3) as f64 / 2.0, 1);
+        }
+        let root_children = tree.children(tree.root());
+        prop_assume!(!root_children.is_empty());
+        let new_root = root_children[pick % root_children.len()];
+        let sub = tree.extract_subtree(new_root);
+
+        // Walk old and new trees in parallel (children correspond in
+        // order); every surviving node must match exactly.
+        let mut stack = vec![(new_root, sub.root())];
+        let mut visited = 0usize;
+        while let Some((old_id, new_id)) = stack.pop() {
+            visited += 1;
+            prop_assert_eq!(tree.visits(old_id), sub.visits(new_id));
+            prop_assert_eq!(tree.wins(old_id).to_bits(), sub.wins(new_id).to_bits());
+            prop_assert_eq!(tree.depth(old_id), sub.depth(new_id) + tree.depth(new_root));
+            prop_assert_eq!(tree.untried(old_id), sub.untried(new_id));
+            prop_assert_eq!(tree.state(old_id), sub.state(new_id));
+            let old_children = tree.children(old_id);
+            let new_children = sub.children(new_id);
+            prop_assert_eq!(old_children.len(), new_children.len());
+            for (&o, &n) in old_children.iter().zip(new_children) {
+                prop_assert_eq!(tree.move_into(o), sub.move_into(n));
+                stack.push((o, n));
+            }
+        }
+        prop_assert_eq!(visited, sub.len(), "subtree copied exactly once per survivor");
+    }
 }

@@ -4,7 +4,7 @@
 //! hybrid scheme depends on (its Fig. 4): the host calls the kernel
 //! asynchronously, keeps expanding trees on the CPU, and polls for the "gpu
 //! ready event". Here the kernel runs on the device's persistent
-//! [`WorkerPool`](crate::pool::WorkerPool) — no thread is created per
+//! [`WorkerPool`] — no thread is created per
 //! launch; readiness is a flag the worker sets just before finishing.
 
 use crate::pool::WorkerPool;

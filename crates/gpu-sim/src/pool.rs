@@ -185,6 +185,72 @@ impl WorkerPool {
             resume_unwind(payload);
         }
     }
+
+    /// Applies `f` to every element of `items` on the pool and returns the
+    /// results **in item order**, regardless of which worker ran which item.
+    ///
+    /// This is the deterministic fan-out primitive behind the searchers'
+    /// pool-parallel host phases: each item (one search tree) is claimed by
+    /// exactly one participant via an atomic counter, `f` gets exclusive
+    /// `&mut` access to it, and the result lands in the slot of the item's
+    /// index. Because outputs are keyed by index and the caller folds them
+    /// in order, results are bit-identical for any pool size — the same
+    /// property `execute_kernel` has for blocks.
+    ///
+    /// Built on [`run_scoped`](Self::run_scoped), so it inherits its
+    /// guarantees: the caller participates (no deadlock when all workers
+    /// are busy), at most `min(size, items.len())` threads run `f`, and a
+    /// panic in `f` is re-raised here. With one worker (or one item) the
+    /// whole map runs inline on the calling thread.
+    pub fn map_indexed<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        {
+            let items = SendSlice(items.as_mut_ptr());
+            let slots = SendSlice(out.as_mut_ptr());
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let participants = self.size().min(n);
+            self.run_scoped(participants, |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // Safety: the atomic counter hands out each index exactly
+                // once, so no two participants touch the same element or
+                // result slot, and `run_scoped` does not return before
+                // every started participant finished.
+                let item = unsafe { &mut *items.at(i) };
+                let result = f(i, item);
+                unsafe { *slots.at(i) = Some(result) };
+            });
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("map_indexed: every index was claimed"))
+            .collect()
+    }
+}
+
+/// Raw pointer into a caller-owned slice, shareable across the scoped
+/// participants. Safety: see `map_indexed` — indices are claimed uniquely.
+struct SendSlice<T>(*mut T);
+unsafe impl<T: Send> Send for SendSlice<T> {}
+unsafe impl<T: Send> Sync for SendSlice<T> {}
+
+impl<T> SendSlice<T> {
+    /// Pointer to element `i`. Going through a method (rather than field
+    /// access in the closure) makes the closure capture the whole `Sync`
+    /// wrapper instead of the raw pointer field.
+    fn at(&self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
 }
 
 impl Drop for WorkerPool {
@@ -345,5 +411,60 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn map_indexed_returns_results_in_item_order() {
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let mut items: Vec<usize> = (0..37).collect();
+            let results = pool.map_indexed(&mut items, |i, item| {
+                *item *= 2;
+                i * 10
+            });
+            assert_eq!(results, (0..37).map(|i| i * 10).collect::<Vec<_>>());
+            assert_eq!(items, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_indexed_gives_exclusive_mutable_access() {
+        let pool = WorkerPool::new(4);
+        let mut items = vec![0u64; 200];
+        // Each item incremented exactly once even under contention.
+        let results = pool.map_indexed(&mut items, |_, item| {
+            *item += 1;
+            *item
+        });
+        assert!(items.iter().all(|&v| v == 1));
+        assert!(results.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_single() {
+        let pool = WorkerPool::new(3);
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(pool.map_indexed(&mut empty, |_, _| 0u8).is_empty());
+        let mut one = vec![7u8];
+        assert_eq!(pool.map_indexed(&mut one, |i, v| (i, *v)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn map_indexed_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let mut items = vec![0u8; 8];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed(&mut items, |i, _| {
+                if i == 3 {
+                    panic!("item exploded");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // Pool stays usable.
+        let mut items = vec![0u8; 4];
+        let results = pool.map_indexed(&mut items, |i, _| i);
+        assert_eq!(results, vec![0, 1, 2, 3]);
     }
 }

@@ -2,12 +2,23 @@
 """Validate bench artifacts (CI gate, also usable locally).
 
 Usage:
-    scripts/check_bench.py FILE [FILE ...]
+    scripts/check_bench.py [--baseline FILE] [--tolerance X] FILE [FILE ...]
         Validate each artifact; the check set is chosen by file name:
           profile.json           phase ledger + wall-clock fields
-          BENCH_throughput.json  engine speedup gate (>= 1.5x vs lockstep)
+          BENCH_throughput.json  engine speedup gate (>= 1.5x vs lockstep),
+                                 tree_ops layout records (SoA vs AoS, equal
+                                 checksums, select speedup gate), host_phases
+                                 pairs, and — with --baseline — a
+                                 no-regression gate on the sequential
+                                 search record's playouts_per_sec
           fault_matrix.json      every cell degraded gracefully
           divergence_report.txt  per-phase efficiency table parses
+
+    --baseline FILE   committed BENCH_throughput.json to compare against
+    --tolerance X     new sequential playouts_per_sec must be >= X * baseline
+                      (default 0.75: CI and the baseline machine differ, so
+                      only a large drop is a credible layout regression;
+                      tighten locally when comparing runs on one machine)
 
     scripts/check_bench.py --canon FILE
         Print the file's canonical form to stdout: JSON with the
@@ -39,6 +50,39 @@ FAULT_FIELDS = [
 ]
 WALL_FIELDS = ["wall_ns", "playouts_per_sec"]
 MIN_ENGINE_SPEEDUP = 1.5
+# The SoA layout must beat the AoS baseline on the cold-cache selection
+# sweep by a clear margin (committed artifact shows ~1.8x; the gate leaves
+# headroom for noisy CI runners).
+MIN_TREE_OPS_SELECT_SPEEDUP = 1.3
+TREE_OPS_FIELDS = [
+    "layout",
+    "nodes",
+    "select_ops",
+    "expand_ops",
+    "backprop_ops",
+    "select_wall_ns",
+    "expand_wall_ns",
+    "backprop_wall_ns",
+    "select_ops_per_sec",
+    "expand_ops_per_sec",
+    "backprop_ops_per_sec",
+    "checksum",
+]
+HOST_PHASE_FIELDS = [
+    "scheme",
+    "layout",
+    "blocks",
+    "iters",
+    "tree_nodes",
+    "wall_ns",
+    "iters_per_sec",
+]
+TREE_OPS_SUMMARY_FIELDS = [
+    "tree_ops_select_speedup_vs_aos",
+    "tree_ops_expand_speedup_vs_aos",
+    "tree_ops_backprop_speedup_vs_aos",
+]
+DEFAULT_BASELINE_TOLERANCE = 0.75
 
 
 def fail(msg):
@@ -75,7 +119,98 @@ def check_profile(path):
     print(f"check_bench: OK: {path}: {len(data)} records, ledger exact")
 
 
-def check_throughput(path):
+def check_tree_ops(path, data, summary):
+    """The SoA-vs-AoS layout records: both layouts present, structurally
+    complete, provably equivalent (equal checksums over identical trees),
+    and the selection sweep faster on SoA by the gate margin."""
+    recs = {r.get("layout"): r for r in data if r.get("record") == "tree_ops"}
+    for layout in ("soa", "aos"):
+        if layout not in recs:
+            fail(f"{path}: missing tree_ops record for layout {layout!r}")
+        for f in TREE_OPS_FIELDS:
+            if f not in recs[layout]:
+                fail(f"{path}: tree_ops[{layout}]: missing field {f!r}")
+        for f in TREE_OPS_FIELDS:
+            if f.endswith("_ops_per_sec") and recs[layout][f] <= 0:
+                fail(f"{path}: tree_ops[{layout}]: {f} not positive")
+    for f in ("nodes", "select_ops", "expand_ops", "backprop_ops", "checksum"):
+        if recs["soa"][f] != recs["aos"][f]:
+            fail(
+                f"{path}: tree_ops layouts diverge on {f!r}:"
+                f" soa={recs['soa'][f]} aos={recs['aos'][f]}"
+                " (the layouts must run the identical workload)"
+            )
+    for f in TREE_OPS_SUMMARY_FIELDS:
+        if f not in summary:
+            fail(f"{path}: summary lacks {f!r}")
+    sel = summary["tree_ops_select_speedup_vs_aos"]
+    if sel < MIN_TREE_OPS_SELECT_SPEEDUP:
+        fail(
+            f"{path}: SoA select sweep only {sel:.2f}x vs AoS"
+            f" (gate: >= {MIN_TREE_OPS_SELECT_SPEEDUP}x)"
+        )
+    return sel
+
+
+def check_host_phases(path, data, summary):
+    """host_phases records come in (scheme, layout) pairs over the same
+    iteration count and must grow structurally identical trees; the summary
+    must carry one speedup field per scheme."""
+    pairs = {}
+    for i, rec in enumerate(data):
+        if rec.get("record") != "host_phases":
+            continue
+        where = f"{path}[{i}] (host_phases)"
+        for f in HOST_PHASE_FIELDS:
+            if f not in rec:
+                fail(f"{where}: missing field {f!r}")
+        pairs.setdefault(rec["scheme"], {})[rec["layout"]] = rec
+    if not pairs:
+        fail(f"{path}: no host_phases records")
+    for scheme, by_layout in pairs.items():
+        for layout in ("soa", "aos"):
+            if layout not in by_layout:
+                fail(f"{path}: host_phases[{scheme}]: missing layout {layout!r}")
+        soa, aos = by_layout["soa"], by_layout["aos"]
+        for f in ("blocks", "iters", "tree_nodes"):
+            if soa[f] != aos[f]:
+                fail(
+                    f"{path}: host_phases[{scheme}]: layouts diverge on"
+                    f" {f!r}: soa={soa[f]} aos={aos[f]}"
+                )
+        if f"host_phase_speedup_{scheme}" not in summary:
+            fail(f"{path}: summary lacks host_phase_speedup_{scheme!r}")
+    return sorted(pairs)
+
+
+def check_seq_regression(path, data, baseline_path, tolerance):
+    """New sequential search throughput must stay within `tolerance` of the
+    committed baseline artifact's."""
+
+    def seq_pps(p, d):
+        rec = next(
+            (
+                r
+                for r in d
+                if r.get("record") == "search" and r.get("scheme") == "sequential"
+            ),
+            None,
+        )
+        if rec is None or "playouts_per_sec" not in rec:
+            fail(f"{p}: no sequential search record with playouts_per_sec")
+        return rec["playouts_per_sec"]
+
+    new = seq_pps(path, data)
+    old = seq_pps(baseline_path, json.load(open(baseline_path)))
+    if new < tolerance * old:
+        fail(
+            f"{path}: sequential playouts_per_sec regressed to {new:.0f}"
+            f" (< {tolerance:.2f} x baseline {old:.0f} from {baseline_path})"
+        )
+    return new / old
+
+
+def check_throughput(path, baseline=None, tolerance=DEFAULT_BASELINE_TOLERANCE):
     data = json.load(open(path))
     summary = next((r for r in data if r.get("record") == "summary"), None)
     if summary is None:
@@ -88,7 +223,16 @@ def check_throughput(path):
             f"{path}: engine regressed to {speedup:.2f}x vs lockstep"
             f" (gate: >= {MIN_ENGINE_SPEEDUP}x)"
         )
-    print(f"check_bench: OK: {path}: engine {speedup:.2f}x vs lockstep")
+    sel = check_tree_ops(path, data, summary)
+    schemes = check_host_phases(path, data, summary)
+    msg = (
+        f"check_bench: OK: {path}: engine {speedup:.2f}x vs lockstep,"
+        f" SoA select {sel:.2f}x vs AoS, host_phases {', '.join(schemes)}"
+    )
+    if baseline is not None:
+        ratio = check_seq_regression(path, data, baseline, tolerance)
+        msg += f", sequential {ratio:.2f}x of baseline"
+    print(msg)
 
 
 def check_fault_matrix(path):
@@ -162,12 +306,33 @@ def main(argv):
             fail("--canon takes exactly one file")
         canon(argv[1])
         return 0
-    for path in argv:
+    baseline = None
+    tolerance = DEFAULT_BASELINE_TOLERANCE
+    paths = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--baseline":
+            baseline = next(it, None)
+            if baseline is None:
+                fail("--baseline needs a file argument")
+        elif arg == "--tolerance":
+            try:
+                tolerance = float(next(it))
+            except (StopIteration, ValueError):
+                fail("--tolerance needs a numeric argument")
+        else:
+            paths.append(arg)
+    if not paths:
+        fail("no artifact files given")
+    for path in paths:
         name = os.path.basename(path)
         checker = CHECKS.get(name)
         if checker is None:
             fail(f"{path}: no check registered for {name!r} (known: {sorted(CHECKS)})")
-        checker(path)
+        if checker is check_throughput:
+            checker(path, baseline=baseline, tolerance=tolerance)
+        else:
+            checker(path)
     return 0
 
 

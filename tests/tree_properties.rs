@@ -14,7 +14,7 @@ fn grow(seed: u64, iters: usize, batches: &[u64]) -> (SearchTree<Reversi>, u64) 
     let mut total = 0u64;
     for i in 0..iters {
         let id = tree.select(1.4);
-        let node = if !tree.node(id).fully_expanded() {
+        let node = if !tree.fully_expanded(id) {
             tree.expand(id, &mut rng)
         } else {
             id
@@ -40,26 +40,25 @@ proptest! {
         let (tree, total) = grow(seed, iters, &batches);
 
         // Root sees every simulation.
-        prop_assert_eq!(tree.node(tree.root()).visits, total);
+        prop_assert_eq!(tree.visits(tree.root()), total);
 
         for id in 0..tree.len() as u32 {
-            let node = tree.node(id);
             // Reward never exceeds visits.
-            prop_assert!(node.wins >= 0.0);
-            prop_assert!(node.wins <= node.visits as f64 + 1e-9);
+            prop_assert!(tree.wins(id) >= 0.0);
+            prop_assert!(tree.wins(id) <= tree.visits(id) as f64 + 1e-9);
             // Children were all reached through this node.
-            let child_visits: u64 = node.children.iter().map(|&c| tree.node(c).visits).sum();
-            prop_assert!(child_visits <= node.visits,
-                "node {} visits {} < children total {}", id, node.visits, child_visits);
-            for &c in &node.children {
-                prop_assert_eq!(tree.node(c).parent, Some(id));
-                prop_assert_eq!(tree.node(c).depth, node.depth + 1);
-                prop_assert!(tree.node(c).mv.is_some());
+            let child_visits: u64 = tree.children(id).iter().map(|&c| tree.visits(c)).sum();
+            prop_assert!(child_visits <= tree.visits(id),
+                "node {} visits {} < children total {}", id, tree.visits(id), child_visits);
+            for &c in tree.children(id) {
+                prop_assert_eq!(tree.parent(c), Some(id));
+                prop_assert_eq!(tree.depth(c), tree.depth(id) + 1);
+                prop_assert!(tree.move_into(c).is_some());
             }
         }
 
         // max_depth matches the actual deepest node.
-        let deepest = (0..tree.len() as u32).map(|i| tree.node(i).depth).max().unwrap();
+        let deepest = (0..tree.len() as u32).map(|i| tree.depth(i)).max().unwrap();
         prop_assert_eq!(tree.max_depth(), deepest);
     }
 
