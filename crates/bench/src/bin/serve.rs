@@ -1,0 +1,172 @@
+//! Multi-session serving benchmark: M concurrent Reversi games, every move
+//! searched as one session of the shared [`SearchService`], all sessions of
+//! a move wave packed into batched kernel launches.
+//!
+//! Each wave admits one session per live game at a fixed per-move virtual
+//! budget and runs the service to completion; the chosen moves advance the
+//! games and the next wave begins. The *unbatched* baseline runs the very
+//! same sessions (same position, same seed, same budget) back-to-back on
+//! solo services — the aggregate-playouts/s ratio between the two is the
+//! amortisation win of cross-session batching (one launch overhead and one
+//! device round-trip per round instead of per session, and a merged grid
+//! that actually covers the SMs).
+//!
+//! The JSON artifact carries one record per move (the standard phase
+//! ledger, now including the `queue` phase, plus the session's virtual
+//! latency) and one summary record (sessions-per-launch statistics,
+//! aggregate playouts/s batched vs unbatched, and the per-move virtual
+//! latency p50/p95/p99). No wall-clock fields: the same seed must produce
+//! byte-identical output at any `--host-threads` count — the CI
+//! determinism gate diffs runs at different counts.
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin serve -- [--full]`
+//! (`--out DIR` also writes `DIR/serve.json`).
+
+use pmcts_bench::{phase_record, write_json, BenchArgs, JsonObject};
+use pmcts_core::prelude::*;
+use pmcts_util::{Rng64, SplitMix64};
+
+/// Per-session search seed: one fresh stream per (game, ply).
+fn session_seed(base: u64, game: u64, ply: u64) -> u64 {
+    SplitMix64::derive(base, (ply << 32) | game).next_u64()
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let m = args.games_or(16, 16);
+    let budget = SearchBudget::millis(args.move_ms_or(5, 8));
+    let max_plies = if args.full { 8 } else { 2 };
+    let tpb = if args.full { 64 } else { 32 };
+    let host_threads = args.host_threads_or(2);
+    let device = || Device::new(DeviceSpec::tesla_c2050()).with_host_threads(host_threads);
+
+    let mut games: Vec<Reversi> = (0..m).map(|_| Reversi::initial()).collect();
+    let mut live: Vec<bool> = vec![true; m as usize];
+
+    // One shared service for the whole batched run; its clock accumulates
+    // the total virtual serving time across every wave.
+    let mut svc = SearchService::<Reversi>::new(device(), tpb, args.seed);
+    let mut records: Vec<JsonObject> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut batched_sims = 0u64;
+    let mut unbatched_sims = 0u64;
+    let mut unbatched_time = SimTime::ZERO;
+
+    for ply in 0..max_plies {
+        // Admit one session per live game — and run the identical session
+        // solo for the unbatched baseline.
+        let mut admitted: Vec<(usize, SessionId)> = Vec::new();
+        for g in 0..m as usize {
+            if !live[g] || games[g].is_terminal() {
+                live[g] = false;
+                continue;
+            }
+            let cfg =
+                MctsConfig::default().with_seed(session_seed(args.seed, g as u64, ply as u64));
+            let id = svc.admit_sequential(games[g], budget, cfg.clone());
+            admitted.push((g, id));
+
+            let mut solo = SearchService::<Reversi>::new(device(), tpb, args.seed);
+            solo.admit_sequential(games[g], budget, cfg);
+            solo.run_to_completion();
+            let done = solo.take_completed();
+            unbatched_sims += done[0].report.simulations;
+            unbatched_time += solo.clock();
+        }
+        if admitted.is_empty() {
+            break;
+        }
+        svc.run_to_completion();
+        let mut completed = svc.take_completed();
+        assert_eq!(completed.len(), admitted.len());
+        // Session ids are assigned in admission order, so sorting by id
+        // re-aligns completion order with `admitted`.
+        completed.sort_by_key(|c| c.id.0);
+
+        for ((g, id), c) in admitted.iter().zip(&completed) {
+            assert_eq!(*id, c.id);
+            assert_eq!(
+                c.report.phases.phase_sum(),
+                c.report.elapsed,
+                "game {g} ply {ply}: phase ledger must sum to elapsed"
+            );
+            let latency = c.completed_at - c.admitted_at;
+            assert_eq!(latency, c.report.elapsed, "latency equals session time");
+            latencies.push(latency.as_nanos());
+            batched_sims += c.report.simulations;
+            records.push(
+                phase_record("serve_move", &c.report)
+                    .str_field("kind", "move")
+                    .u64_field("game", *g as u64)
+                    .u64_field("ply", ply as u64)
+                    .u64_field("session", c.id.0)
+                    .u64_field("latency_ns", latency.as_nanos()),
+            );
+            let mv = c
+                .report
+                .best_move
+                .unwrap_or_else(|| panic!("game {g} ply {ply}: no move from live game"));
+            games[*g].apply(mv);
+        }
+    }
+
+    let batched_time = svc.clock();
+    let launches = svc.launches();
+    let total_batched_sessions: u64 = launches.iter().map(|l| u64::from(l.sessions)).sum();
+    let sessions_per_launch_mean = total_batched_sessions as f64 / launches.len() as f64;
+    let sessions_per_launch_max = launches.iter().map(|l| l.sessions).max().unwrap_or(0);
+    let pps = |sims: u64, t: SimTime| sims as f64 / (t.as_nanos() as f64 / 1e9);
+    let batched_pps = pps(batched_sims, batched_time);
+    let unbatched_pps = pps(unbatched_sims, unbatched_time);
+
+    latencies.sort_unstable();
+    records.push(
+        JsonObject::new()
+            .str_field("kind", "summary")
+            .u64_field("games", m)
+            .u64_field("moves", latencies.len() as u64)
+            .u64_field(
+                "move_budget_ns",
+                match budget {
+                    SearchBudget::VirtualTime(t) => t.as_nanos(),
+                    SearchBudget::Iterations(_) => 0,
+                },
+            )
+            .u64_field("launches", launches.len() as u64)
+            .f64_field("sessions_per_launch_mean", sessions_per_launch_mean)
+            .u64_field(
+                "sessions_per_launch_max",
+                u64::from(sessions_per_launch_max),
+            )
+            .u64_field("batched_sims", batched_sims)
+            .u64_field("batched_time_ns", batched_time.as_nanos())
+            .u64_field("unbatched_sims", unbatched_sims)
+            .u64_field("unbatched_time_ns", unbatched_time.as_nanos())
+            .f64_field("batched_playouts_per_sec", batched_pps)
+            .f64_field("unbatched_playouts_per_sec", unbatched_pps)
+            .f64_field("batched_speedup_vs_unbatched", batched_pps / unbatched_pps)
+            .u64_field("latency_p50_ns", percentile(&latencies, 50.0))
+            .u64_field("latency_p95_ns", percentile(&latencies, 95.0))
+            .u64_field("latency_p99_ns", percentile(&latencies, 99.0)),
+    );
+
+    eprintln!(
+        "# serve: {} moves over {} games, {} launches, {:.1} sessions/launch, \
+         {:.0} batched vs {:.0} unbatched playouts/s ({:.2}x)",
+        latencies.len(),
+        m,
+        launches.len(),
+        sessions_per_launch_mean,
+        batched_pps,
+        unbatched_pps,
+        batched_pps / unbatched_pps
+    );
+    write_json("serve", &records, &args);
+}

@@ -117,10 +117,20 @@ fn main() {
             if i == j {
                 continue;
             }
+            // `g` is already a per-(game, entrant, colour) stream from
+            // `entrant_stream`, so the two sides of a game never share RNG
+            // streams; folding the pairing identity in on top gives each
+            // scheme fresh streams in every pairing as well.
             let result = MatchSeries::<Reversi>::run(
                 games,
-                |g| (players[i].make)(g.wrapping_add(17 * i as u64), budget),
-                |g| (players[j].make)(g.wrapping_add(31 * j as u64 + 1000), budget),
+                |g| {
+                    let s = g.wrapping_add((1 + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    (players[i].make)(s, budget)
+                },
+                |g| {
+                    let s = g.wrapping_add((100 + j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    (players[j].make)(s, budget)
+                },
             );
             scores[i][j] = Some(result.win_ratio());
             eprintln!(

@@ -202,8 +202,9 @@ pub fn json_string(s: &str) -> String {
 
 /// Builds the JSON record for one scheme's
 /// [`SearchReport`](pmcts_core::prelude::SearchReport) — the unit the
-/// `profile` binary emits: identity, totals, the exact six-phase ledger
-/// (nanoseconds), overlap measures, and folded device statistics.
+/// `profile` binary emits: identity, totals, the exact seven-phase ledger
+/// (nanoseconds), overlap/overshoot measures, and folded device
+/// statistics.
 pub fn phase_record<M>(scheme: &str, report: &pmcts_core::prelude::SearchReport<M>) -> JsonObject {
     let p = &report.phases;
     JsonObject::new()
@@ -216,12 +217,14 @@ pub fn phase_record<M>(scheme: &str, report: &pmcts_core::prelude::SearchReport<
         .f64_field("sims_per_second", report.sims_per_second())
         .u64_field("select_ns", p.select.as_nanos())
         .u64_field("expand_ns", p.expand.as_nanos())
+        .u64_field("queue_ns", p.queue.as_nanos())
         .u64_field("upload_ns", p.upload.as_nanos())
         .u64_field("kernel_ns", p.kernel.as_nanos())
         .u64_field("readback_ns", p.readback.as_nanos())
         .u64_field("merge_ns", p.merge.as_nanos())
         .u64_field("shadow_overlap_ns", p.shadow_overlap.as_nanos())
         .u64_field("overlap_saved_ns", p.overlap_saved.as_nanos())
+        .u64_field("budget_overshoot_ns", p.budget_overshoot.as_nanos())
         .u64_field("expansions", p.expansions)
         .u64_field("kernel_launches", p.kernel_launches)
         .u64_field("shadow_iterations", p.shadow_iterations)

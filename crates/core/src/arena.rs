@@ -8,7 +8,7 @@
 
 use crate::player::GamePlayer;
 use pmcts_games::{Game, Outcome, Player};
-use pmcts_util::{OnlineStats, WinLoss};
+use pmcts_util::{OnlineStats, Rng64, SplitMix64, WinLoss};
 
 /// Full record of one played game.
 #[derive(Clone, Debug)]
@@ -150,9 +150,28 @@ impl SeriesResult {
     }
 }
 
+/// Derives the stream value handed to an entrant's player factory for one
+/// game of a series.
+///
+/// Mixing the entrant index and colour into a SplitMix64 hash of the game
+/// index guarantees the two opponents of a game never share an RNG stream —
+/// previously both factories received the raw game index, so seeds like
+/// `base ^ g` on both sides handed the entrants *identical* playout
+/// streams, correlating every "independent" comparison. The result is
+/// truncated to 48 bits so factories may add small offsets without
+/// overflow; the series stays fully deterministic.
+pub fn entrant_stream(game: u64, entrant: u64, colour: Player) -> u64 {
+    let colour_bit = match colour {
+        Player::P1 => 0,
+        Player::P2 => 1,
+    };
+    SplitMix64::derive(game, (entrant << 1) | colour_bit).next_u64() & 0xFFFF_FFFF_FFFF
+}
+
 /// Plays `games` between a candidate and an opponent, alternating colours
-/// (candidate is P1 in even games). Player factories receive the game index
-/// so each game can use fresh, seeded players.
+/// (candidate is P1 in even games). Player factories receive a
+/// deterministic per-game stream value (see [`entrant_stream`]) so each
+/// game uses fresh, seeded, mutually-uncorrelated players.
 pub struct MatchSeries<G: Game> {
     _game: std::marker::PhantomData<fn() -> G>,
 }
@@ -166,9 +185,9 @@ impl<G: Game> MatchSeries<G> {
     ) -> SeriesResult {
         let mut result = SeriesResult::default();
         for g in 0..games {
-            let mut cand = candidate(g);
-            let mut opp = opponent(g);
             let colour = if g % 2 == 0 { Player::P1 } else { Player::P2 };
+            let mut cand = candidate(entrant_stream(g, 0, colour));
+            let mut opp = opponent(entrant_stream(g, 1, colour.opponent()));
             let record = match colour {
                 Player::P1 => play_game::<G>(&mut *cand, &mut *opp),
                 Player::P2 => play_game::<G>(&mut *opp, &mut *cand),
@@ -250,6 +269,33 @@ mod tests {
         assert!(!result.score_by_step.is_empty());
         // Connect-4 needs at least 7 plies; step 0 has all 4 games.
         assert_eq!(result.score_by_step[0].count(), 4);
+    }
+
+    #[test]
+    fn entrant_streams_are_decorrelated() {
+        // The two entrants of one game must never receive the same stream,
+        // whichever colours they hold, and streams must vary per game.
+        for g in 0..64 {
+            for colour in [Player::P1, Player::P2] {
+                assert_ne!(
+                    entrant_stream(g, 0, colour),
+                    entrant_stream(g, 1, colour.opponent()),
+                    "game {g}: opponents share a stream"
+                );
+            }
+            assert_ne!(
+                entrant_stream(g, 0, Player::P1),
+                entrant_stream(g + 1, 0, Player::P2),
+                "adjacent games collide for the candidate"
+            );
+        }
+        // Colour is part of the derivation: swapping colours re-seeds.
+        assert_ne!(
+            entrant_stream(3, 0, Player::P1),
+            entrant_stream(3, 0, Player::P2)
+        );
+        // Headroom for factories that add small constants.
+        assert!(entrant_stream(u64::MAX, 1, Player::P2) <= 0xFFFF_FFFF_FFFF);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! in root parallelism.
 //!
 //! The host tree phases run on the device's
-//! [`WorkerPool`](pmcts_gpu_sim::WorkerPool) in three stages
+//! [`WorkerPool`] in three stages
 //! per iteration: pool-parallel selection over trees, a sequential pass
 //! drawing every expansion pick from the shared RNG in block order, and
 //! pool-parallel expansion (then, after the launch, pool-parallel
@@ -24,12 +24,13 @@
 //! position, while distinct blocks/trees need no communication at all.
 
 use crate::config::{MctsConfig, SearchBudget};
-use crate::gpu::{aggregate, PlayoutKernel};
+use crate::cost::CpuCostModel;
+use crate::gpu::{aggregate, LaneOutcome, PlayoutKernel};
 use crate::searcher::{BudgetTracker, SearchReport, Searcher};
 use crate::telemetry::PhaseBreakdown;
 use crate::tree::{best_from_stats, merge_root_stats, SearchTree};
 use pmcts_games::{random_playout, Game, Player};
-use pmcts_gpu_sim::{Device, GpuFault, LaunchConfig};
+use pmcts_gpu_sim::{Device, GpuFault, LaunchConfig, WorkerPool};
 use pmcts_util::{Rng64, SimTime, Xoshiro256pp};
 
 /// Block-parallel GPU searcher: one MCTS tree per GPU block.
@@ -118,41 +119,15 @@ impl<G: Game> BlockParallelSearcher<G> {
         let plan = self.config.faults;
         while tracker.may_continue() {
             let mut iter_cost = SimTime::ZERO;
-            // Selection on every tree (pool-parallel; trees are
-            // independent, selection is read-only).
-            let selected: Vec<(u32, u32)> = pool.map_indexed(&mut trees, |_, tree| {
-                let sel = tree.select(exploration_c);
-                (sel, tree.untried_len(sel) as u32)
-            });
-            // Draw expansion picks from the shared RNG in block order —
-            // exactly the draw sequence of the sequential schedule, so the
-            // pinned fingerprints are unaffected.
-            let picks: Vec<Option<u32>> = selected
-                .iter()
-                .map(|&(_, untried)| {
-                    if untried != 0 {
-                        phases.expansions += 1;
-                        Some(self.rng.next_below(untried))
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            // Expansion with the pre-drawn picks (pool-parallel), capturing
-            // each tree's frontier node for the kernel.
-            let frontier: Vec<(u32, G, u32)> = pool.map_indexed(&mut trees, |b, tree| {
-                let node = match picks[b] {
-                    Some(pick) => tree.expand_with_pick(selected[b].0, pick),
-                    None => selected[b].0,
-                };
-                (node, *tree.state(node), tree.depth(node))
-            });
-            // Deterministic block-order folding of per-tree host costs.
-            for &(_, _, depth) in &frontier {
-                iter_cost += cpu.tree_op(depth);
-                phases.select += cpu.select_cost(depth);
-                phases.expand += cpu.expand_cost();
-            }
+            let (frontier, host_cost) = select_and_expand_all(
+                &mut trees,
+                &mut self.rng,
+                exploration_c,
+                &cpu,
+                &pool,
+                &mut phases,
+            );
+            iter_cost += host_cost;
 
             // One launch simulates every tree's frontier node. A hang is
             // retried once; a second hang degrades the iteration to one CPU
@@ -208,24 +183,15 @@ impl<G: Game> BlockParallelSearcher<G> {
                     }
                 };
 
-                // Read back per-block and backpropagate into each tree
-                // (pool-parallel: each tree's backprop walk is independent).
-                // An aborted block's tree simply receives nothing this
-                // iteration. Simulation counts fold in block order.
-                let outputs = &result.outputs;
-                let counts: Vec<u64> = pool.map_indexed(&mut trees, |b, tree| {
-                    if Some(b) == voided {
-                        return 0;
-                    }
-                    let lanes = &outputs[b * tpb..(b + 1) * tpb];
-                    let (wins_p1, n) = aggregate(lanes);
-                    tree.backprop(frontier[b].0, wins_p1, n);
-                    n
-                });
-                for n in counts {
-                    simulations += n;
-                    phases.simulations += n;
-                }
+                simulations += backprop_outputs(
+                    &mut trees,
+                    &frontier,
+                    &result.outputs,
+                    tpb,
+                    voided,
+                    &pool,
+                    &mut phases,
+                );
 
                 phases.kernel += result.stats.launch_overhead + result.stats.device_time;
                 phases.readback += result.stats.readback_time;
@@ -241,15 +207,104 @@ impl<G: Game> BlockParallelSearcher<G> {
     }
 }
 
+/// The host half of one block-parallel round: pool-parallel selection over
+/// every tree, expansion picks drawn from the shared RNG in block order,
+/// pool-parallel expansion, and a block-order fold of per-tree host costs
+/// into `phases.select`/`phases.expand`. Returns each tree's frontier
+/// `(node, state, depth)` plus the summed host tree-op cost.
+///
+/// Shared between [`BlockParallelSearcher::search_trees`] (lockstep loop)
+/// and the multi-session search service (one round per batched launch).
+/// Everything that affects results happens in block order on the calling
+/// thread, so the output is bit-identical for any pool size.
+pub(crate) fn select_and_expand_all<G: Game>(
+    trees: &mut [SearchTree<G>],
+    rng: &mut Xoshiro256pp,
+    exploration_c: f64,
+    cpu: &CpuCostModel,
+    pool: &WorkerPool,
+    phases: &mut PhaseBreakdown,
+) -> (Vec<(u32, G, u32)>, SimTime) {
+    // Selection on every tree (pool-parallel; trees are independent,
+    // selection is read-only).
+    let selected: Vec<(u32, u32)> = pool.map_indexed(trees, |_, tree| {
+        let sel = tree.select(exploration_c);
+        (sel, tree.untried_len(sel) as u32)
+    });
+    // Draw expansion picks from the shared RNG in block order — exactly
+    // the draw sequence of the sequential schedule, so the pinned
+    // fingerprints are unaffected.
+    let picks: Vec<Option<u32>> = selected
+        .iter()
+        .map(|&(_, untried)| {
+            if untried != 0 {
+                phases.expansions += 1;
+                Some(rng.next_below(untried))
+            } else {
+                None
+            }
+        })
+        .collect();
+    // Expansion with the pre-drawn picks (pool-parallel), capturing each
+    // tree's frontier node for the kernel.
+    let frontier: Vec<(u32, G, u32)> = pool.map_indexed(trees, |b, tree| {
+        let node = match picks[b] {
+            Some(pick) => tree.expand_with_pick(selected[b].0, pick),
+            None => selected[b].0,
+        };
+        (node, *tree.state(node), tree.depth(node))
+    });
+    // Deterministic block-order folding of per-tree host costs.
+    let mut host_cost = SimTime::ZERO;
+    for &(_, _, depth) in &frontier {
+        host_cost += cpu.tree_op(depth);
+        phases.select += cpu.select_cost(depth);
+        phases.expand += cpu.expand_cost();
+    }
+    (frontier, host_cost)
+}
+
+/// The readback half of one block-parallel round: block `b`'s `tpb` lanes
+/// are aggregated and backpropagated into tree `b` (pool-parallel; each
+/// tree's backprop walk is independent). A voided (aborted) block's tree
+/// receives nothing. Simulation counts fold in block order; returns the
+/// total simulations credited.
+pub(crate) fn backprop_outputs<G: Game>(
+    trees: &mut [SearchTree<G>],
+    frontier: &[(u32, G, u32)],
+    outputs: &[LaneOutcome],
+    tpb: usize,
+    voided: Option<usize>,
+    pool: &WorkerPool,
+    phases: &mut PhaseBreakdown,
+) -> u64 {
+    let counts: Vec<u64> = pool.map_indexed(trees, |b, tree| {
+        if Some(b) == voided {
+            return 0;
+        }
+        let lanes = &outputs[b * tpb..(b + 1) * tpb];
+        let (wins_p1, n) = aggregate(lanes);
+        tree.backprop(frontier[b].0, wins_p1, n);
+        n
+    });
+    let mut total = 0u64;
+    for n in counts {
+        total += n;
+        phases.simulations += n;
+    }
+    total
+}
+
 /// Merges per-tree reports into one `SearchReport` (shared with hybrid).
 pub(crate) fn report_from_trees<G: Game>(
     config: &MctsConfig,
     trees: &[SearchTree<G>],
     tracker: &BudgetTracker,
     simulations: u64,
-    phases: PhaseBreakdown,
+    mut phases: PhaseBreakdown,
 ) -> SearchReport<G::Move> {
     let merged = merge_root_stats(&trees.iter().map(|t| t.root_stats()).collect::<Vec<_>>());
+    phases.budget_overshoot = tracker.overshoot();
     SearchReport {
         best_move: best_from_stats(&merged, config.final_move),
         simulations,

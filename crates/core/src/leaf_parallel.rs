@@ -176,6 +176,7 @@ impl<G: Game> Searcher<G> for LeafParallelSearcher<G> {
             }
         }
 
+        phases.budget_overshoot = tracker.overshoot();
         SearchReport {
             best_move: tree.best_move(self.config.final_move),
             simulations,

@@ -60,6 +60,7 @@ pub mod player;
 pub mod root_parallel;
 pub mod searcher;
 pub mod sequential;
+pub mod service;
 pub mod telemetry;
 pub mod tree;
 pub mod tree_aos;
@@ -68,7 +69,7 @@ pub mod ucb;
 
 /// One-stop imports for applications and benches.
 pub mod prelude {
-    pub use crate::arena::{play_game, GameRecord, MatchSeries};
+    pub use crate::arena::{entrant_stream, play_game, GameRecord, MatchSeries};
     pub use crate::block_parallel::BlockParallelSearcher;
     pub use crate::config::{MctsConfig, SearchBudget};
     pub use crate::cost::CpuCostModel;
@@ -81,6 +82,7 @@ pub mod prelude {
     pub use crate::root_parallel::RootParallelSearcher;
     pub use crate::searcher::{SearchReport, Searcher};
     pub use crate::sequential::SequentialSearcher;
+    pub use crate::service::{CompletedSession, SearchService, SessionId};
     pub use crate::telemetry::PhaseBreakdown;
     pub use crate::tree_parallel::TreeParallelSearcher;
     pub use pmcts_games::{Connect4, Game, Hex7, Outcome, Player, Reversi, TicTacToe};

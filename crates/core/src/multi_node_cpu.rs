@@ -130,13 +130,15 @@ impl<G: Game> Searcher<G> for MultiNodeCpuSearcher<G> {
         });
         phases.merge += comm_cost;
 
+        let elapsed = crit.map(|i| per_rank[i].0.elapsed).unwrap_or(SimTime::ZERO) + comm_cost;
+        phases.budget_overshoot = crate::searcher::overshoot_of(budget, elapsed);
         SearchReport {
             best_move: best_from_stats(&merged, self.config.final_move),
             simulations: per_rank.iter().map(|(r, _)| r.simulations).sum(),
             iterations: per_rank.iter().map(|(r, _)| r.iterations).sum(),
             tree_nodes: per_rank.iter().map(|(r, _)| r.tree_nodes).sum(),
             max_depth: per_rank.iter().map(|(r, _)| r.max_depth).max().unwrap_or(0),
-            elapsed: crit.map(|i| per_rank[i].0.elapsed).unwrap_or(SimTime::ZERO) + comm_cost,
+            elapsed,
             root_stats: merged,
             phases,
         }

@@ -20,8 +20,11 @@ pub struct PersistentSearcher<G: Game> {
     config: MctsConfig,
     /// The tree kept from the previous search, if any.
     carry: Option<SearchTree<G>>,
-    /// Plies below the old root to scan when re-rooting (2 covers
-    /// move+reply; passes can push the reached position deeper).
+    /// Plies below the old root to scan when re-rooting. 2 would cover a
+    /// plain move+reply, but Reversi passes can push the reached position
+    /// deeper; 4 additionally absorbs one forced pass on each side. A
+    /// position even further down (a longer pass chain) deliberately falls
+    /// back to a cold tree rather than risking a wrong re-root.
     reroot_depth: u32,
     /// Diagnostics: simulations inherited by the last search.
     last_reused_visits: u64,
@@ -82,6 +85,7 @@ impl<G: Game> Searcher<G> for PersistentSearcher<G> {
         if !tree.is_terminal(tree.root()) {
             simulations = self.inner.run_on_tree(&mut tree, &mut tracker, &mut phases);
         }
+        phases.budget_overshoot = tracker.overshoot();
         let report = SearchReport {
             best_move: tree.best_move(self.config.final_move),
             simulations,
@@ -157,6 +161,41 @@ mod tests {
         }
         s.search(state, SearchBudget::Iterations(50));
         assert_eq!(s.last_reused_visits(), 0);
+    }
+
+    #[test]
+    fn chain_deeper_than_reroot_depth_starts_cold() {
+        // A long pass chain can put the next search position more than
+        // `reroot_depth` plies below the previous root. The searcher must
+        // then start cold, not warm — `find_state` never scans past the
+        // depth limit, even when the position exists deeper in the tree.
+        let mut s = PersistentSearcher::<Reversi>::new(cfg(6));
+        s.search(Reversi::initial(), SearchBudget::Iterations(4000));
+
+        // Walk 5 plies (> reroot_depth = 4) down the most-visited line, so
+        // the reached position is certain to exist in the carried tree.
+        let deep = s.reroot_depth + 1;
+        let carried = s.carry.clone().expect("tree is carried");
+        let mut node = carried.root();
+        for _ in 0..deep {
+            node = *carried
+                .children(node)
+                .iter()
+                .max_by_key(|&&c| carried.visits(c))
+                .expect("searched line extends past reroot_depth");
+        }
+        let state = *carried.state(node);
+        // Control: an unrestricted scan would find the position...
+        assert!(carried.find_state(&state, deep).is_some());
+        // ...but the depth-limited scan used for re-rooting does not.
+        assert!(carried.find_state(&state, s.reroot_depth).is_none());
+
+        s.search(state, SearchBudget::Iterations(50));
+        assert_eq!(
+            s.last_reused_visits(),
+            0,
+            "deeper-than-reroot_depth position must start a cold tree"
+        );
     }
 
     #[test]

@@ -92,6 +92,10 @@ pub(crate) struct BudgetTracker {
     budget: SearchBudget,
     pub iterations: u64,
     pub elapsed: SimTime,
+    /// Cost of the most recently charged iteration, used as the predictor
+    /// for the deadline-aware stopping rule. `ZERO` before any charge, so
+    /// the first iteration always runs under a non-empty budget.
+    last_cost: SimTime,
 }
 
 impl BudgetTracker {
@@ -100,14 +104,22 @@ impl BudgetTracker {
             budget,
             iterations: 0,
             elapsed: SimTime::ZERO,
+            last_cost: SimTime::ZERO,
         }
     }
 
     /// Whether another iteration may start.
+    ///
+    /// `VirtualTime` budgets use a deadline-aware rule: the next iteration
+    /// only starts if the previous iteration's cost would still fit inside
+    /// the budget. This bounds both overshoot *and* undershoot by one
+    /// iteration cost, so schemes with expensive iterations (big kernels)
+    /// no longer get up to a whole extra iteration of effective budget
+    /// relative to the sequential baseline.
     pub(crate) fn may_continue(&self) -> bool {
         match self.budget {
             SearchBudget::Iterations(n) => self.iterations < n,
-            SearchBudget::VirtualTime(t) => self.elapsed < t,
+            SearchBudget::VirtualTime(t) => self.elapsed < t && self.elapsed + self.last_cost <= t,
         }
     }
 
@@ -115,6 +127,25 @@ impl BudgetTracker {
     pub(crate) fn charge(&mut self, cost: SimTime) {
         self.iterations += 1;
         self.elapsed += cost;
+        self.last_cost = cost;
+    }
+
+    /// Virtual time spent beyond a `VirtualTime` budget. Zero for iteration
+    /// budgets and for searches that stopped at or short of the deadline;
+    /// positive only when the final iteration cost more than the predictor,
+    /// and then by less than one iteration cost.
+    pub(crate) fn overshoot(&self) -> SimTime {
+        overshoot_of(self.budget, self.elapsed)
+    }
+}
+
+/// Overshoot of `elapsed` past a `VirtualTime` budget (zero for iteration
+/// budgets). Used by searchers whose report elapsed is assembled from
+/// concurrent components rather than read off one tracker.
+pub(crate) fn overshoot_of(budget: SearchBudget, elapsed: SimTime) -> SimTime {
+    match budget {
+        SearchBudget::Iterations(_) => SimTime::ZERO,
+        SearchBudget::VirtualTime(t) => elapsed.saturating_sub(t),
     }
 }
 
@@ -165,11 +196,48 @@ mod tests {
     #[test]
     fn time_budget_tracks_virtual_time() {
         let mut t = BudgetTracker::new(SearchBudget::VirtualTime(SimTime::from_nanos(100)));
+        t.charge(SimTime::from_nanos(30));
+        assert!(t.may_continue(), "30 + 30 fits in 100");
         t.charge(SimTime::from_nanos(60));
-        assert!(t.may_continue());
-        t.charge(SimTime::from_nanos(60));
-        assert!(!t.may_continue());
+        assert!(!t.may_continue(), "90 + 60 would exceed 100");
         assert_eq!(t.iterations, 2);
-        assert_eq!(t.elapsed, SimTime::from_nanos(120));
+        assert_eq!(t.elapsed, SimTime::from_nanos(90));
+        assert_eq!(t.overshoot(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn time_budget_stops_before_predicted_overshoot() {
+        // After one 60 ns iteration against a 100 ns budget, the predictor
+        // says a second identical iteration would not fit.
+        let mut t = BudgetTracker::new(SearchBudget::VirtualTime(SimTime::from_nanos(100)));
+        t.charge(SimTime::from_nanos(60));
+        assert!(!t.may_continue(), "60 + 60 exceeds 100");
+        assert_eq!(t.overshoot(), SimTime::ZERO, "stopped short, no overshoot");
+    }
+
+    #[test]
+    fn zero_time_budget_runs_nothing() {
+        let t = BudgetTracker::new(SearchBudget::VirtualTime(SimTime::ZERO));
+        assert!(!t.may_continue());
+    }
+
+    #[test]
+    fn overshoot_is_bounded_by_cost_growth() {
+        // The predictor admits an iteration that then costs more than the
+        // previous one: overshoot is the growth, less than the iteration.
+        let mut t = BudgetTracker::new(SearchBudget::VirtualTime(SimTime::from_nanos(100)));
+        t.charge(SimTime::from_nanos(40));
+        assert!(t.may_continue(), "40 + 40 fits in 100");
+        t.charge(SimTime::from_nanos(70));
+        assert_eq!(t.elapsed, SimTime::from_nanos(110));
+        assert_eq!(t.overshoot(), SimTime::from_nanos(10));
+        assert!(t.overshoot() < SimTime::from_nanos(70));
+    }
+
+    #[test]
+    fn iteration_budget_never_overshoots() {
+        let mut t = BudgetTracker::new(SearchBudget::Iterations(1));
+        t.charge(SimTime::from_millis(10));
+        assert_eq!(t.overshoot(), SimTime::ZERO);
     }
 }

@@ -62,6 +62,7 @@ impl<G: Game> SequentialSearcher<G> {
         if !tree.is_terminal(tree.root()) {
             simulations = self.run_on_tree(&mut tree, &mut tracker, &mut phases);
         }
+        phases.budget_overshoot = tracker.overshoot();
         let report = SearchReport {
             best_move: tree.best_move(self.config.final_move),
             simulations,
@@ -101,6 +102,28 @@ impl<G: Game> SequentialSearcher<G> {
         tracker: &mut BudgetTracker,
         phases: &mut PhaseBreakdown,
     ) -> u64 {
+        let cost = self.config.cpu_cost;
+        let (node, depth) = self.select_and_expand(tree, phases);
+        let result = random_playout(*tree.state(node), &mut self.rng);
+        let wins_p1 = result.reward_for(Player::P1);
+        tree.backprop(node, wins_p1, 1);
+        phases.kernel += cost.playout(result.plies);
+        phases.simulations += 1;
+        tracker.charge(cost.tree_op(depth) + cost.playout(result.plies));
+        1
+    }
+
+    /// The host half of one iteration — selection plus (at most) one
+    /// expansion, charging the `select`/`expand` phases. Returns the node
+    /// to simulate and its depth. Shared between [`Self::one_iteration`]
+    /// (which follows with a CPU playout) and the multi-session search
+    /// service (which defers the playout to a batched device launch).
+    /// Draws at most one RNG value, exactly as `one_iteration` always has.
+    pub(crate) fn select_and_expand(
+        &mut self,
+        tree: &mut SearchTree<G>,
+        phases: &mut PhaseBreakdown,
+    ) -> (u32, u32) {
         let cost = &self.config.cpu_cost;
         let selected = tree.select(self.config.exploration_c);
         let node = if !tree.fully_expanded(selected) {
@@ -110,15 +133,9 @@ impl<G: Game> SequentialSearcher<G> {
             selected // terminal leaf: re-sample its outcome
         };
         let depth = tree.depth(node);
-        let result = random_playout(*tree.state(node), &mut self.rng);
-        let wins_p1 = result.reward_for(Player::P1);
-        tree.backprop(node, wins_p1, 1);
         phases.select += cost.select_cost(depth);
         phases.expand += cost.expand_cost();
-        phases.kernel += cost.playout(result.plies);
-        phases.simulations += 1;
-        tracker.charge(cost.tree_op(depth) + cost.playout(result.plies));
-        1
+        (node, depth)
     }
 }
 
@@ -156,7 +173,17 @@ mod tests {
         let mut s = SequentialSearcher::<Reversi>::new(cfg(2));
         let budget = pmcts_util::SimTime::from_millis(20);
         let r = s.search(Reversi::initial(), SearchBudget::VirtualTime(budget));
-        assert!(r.elapsed >= budget, "must stop only after exceeding budget");
+        // The deadline-aware stopping rule lands within one iteration cost
+        // of the budget on either side; with ~100µs iterations a 1ms slack
+        // band is generous.
+        let slack = pmcts_util::SimTime::from_millis(1);
+        assert!(
+            r.elapsed >= budget.saturating_sub(slack) && r.elapsed <= budget + slack,
+            "elapsed {} should be within one iteration of {}",
+            r.elapsed,
+            budget
+        );
+        assert_eq!(r.phases.budget_overshoot, r.elapsed.saturating_sub(budget));
         // With the Xeon model (~10k playouts/s) 20ms is ~200 iterations;
         // allow a broad band.
         assert!(

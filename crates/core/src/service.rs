@@ -1,0 +1,668 @@
+//! Multi-session search service: cross-search kernel batching (extension).
+//!
+//! The paper's schemes assume one search owns the whole GPU. A server
+//! playing many games at once (or one game against many opponents) instead
+//! has N concurrent *sessions*, each searching its own position under its
+//! own budget — and a solo session with a handful of blocks leaves most of
+//! the device's SMs idle. [`SearchService`] multiplexes sessions over one
+//! shared device: every *round* it asks each active session for its next
+//! playout batch (selection + expansion on the host, via the steppable
+//! engine surface), packs all batches into **one** kernel through
+//! [`Device::launch_batched`] — block `b` of the merged grid serves
+//! session-queue `b` — and hands each session back its output slice for
+//! backpropagation. One launch overhead and one device round-trip are
+//! amortised over every session, and the merged grid is large enough to
+//! saturate the SMs (the Fig. 5 plateau, across sessions instead of
+//! trees).
+//!
+//! # Latency accounting
+//!
+//! All sessions of a round share the device, so each one's virtual
+//! per-round latency is the *whole round*: its own host tree work
+//! (`select`/`expand` phases), the other sessions' host work plus the
+//! shared launch preparation (the `queue` phase — time spent waiting on
+//! the batch, which a solo searcher never pays), the shared upload, the
+//! kernel, and the readback. Every participant of a round therefore
+//! observes the same round latency, the service clock advances by exactly
+//! that amount, and `completed_at − admitted_at` equals the session's
+//! reported `elapsed` — each session enforces its own [`SearchBudget`]
+//! deadline with the predictive tracker, so a session never overshoots its
+//! deadline by more than one round.
+//!
+//! # Determinism
+//!
+//! Rounds process sessions in **session-id order** (ids are assigned at
+//! admission from a monotone counter), never in arrival or completion
+//! order; host phases fan out over the device's
+//! [`WorkerPool`] with index-keyed folding; and
+//! per-lane RNG streams derive from the service seed, the launch epoch and
+//! the lane's position in the merged grid. The same seed and the same
+//! admission sequence therefore produce byte-identical results for any
+//! `--host-threads` count. Fault injection is not applied on the service
+//! path (sessions model a trusted shared device; the fault matrix covers
+//! the standalone engines).
+//!
+//! Per-session reports carry the full time-phase ledger
+//! (`phase_sum() == elapsed`, now including `queue`) and launch counts;
+//! the device-side counters (warp steps, occupancy) describe whole merged
+//! grids and are recorded per launch in [`SearchService::launches`]
+//! rather than split across sessions.
+
+use crate::block_parallel::{backprop_outputs, report_from_trees, select_and_expand_all};
+use crate::config::{MctsConfig, SearchBudget};
+use crate::cost::CpuCostModel;
+use crate::gpu::{aggregate, LaneOutcome, PlayoutKernel};
+use crate::searcher::{BudgetTracker, SearchReport};
+use crate::sequential::SequentialSearcher;
+use crate::telemetry::PhaseBreakdown;
+use crate::tree::SearchTree;
+use pmcts_games::Game;
+use pmcts_gpu_sim::{BatchSegment, Device, WorkerPool};
+use pmcts_util::{SimTime, Xoshiro256pp};
+use std::sync::Arc;
+
+/// Identity of one admitted search session. Ids are assigned from a
+/// monotone counter at admission and define the (deterministic) batching
+/// order of every round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One session's playout work for the next batched round: the frontier
+/// positions to simulate (one per block the session owns in the merged
+/// grid) and the host-side cost of producing them.
+pub struct PlayoutRequest<G> {
+    /// Frontier positions, one per block.
+    pub positions: Vec<G>,
+    /// Virtual cost of this round's selection + expansion.
+    pub host_cost: SimTime,
+}
+
+/// How one batched round's shared latency lands on one session, as
+/// computed by the service (see the module docs): `queue` is the other
+/// sessions' host work plus launch preparation; `upload`/`kernel`/
+/// `readback` are the shared device-side components, identical for every
+/// participant of the round.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundLatency {
+    /// Waiting on the rest of the batch (zero for a solo session's rounds
+    /// minus the launch preparation).
+    pub queue: SimTime,
+    /// Launch preparation + host→device transfer of the merged roots.
+    pub upload: SimTime,
+    /// Launch overhead + device execution of the merged grid.
+    pub kernel: SimTime,
+    /// Device→host readback of the merged outputs.
+    pub readback: SimTime,
+}
+
+impl RoundLatency {
+    fn total(&self) -> SimTime {
+        self.queue + self.upload + self.kernel + self.readback
+    }
+}
+
+/// The steppable engine surface the service multiplexes: one round is
+/// `begin_round` (host selection/expansion → [`PlayoutRequest`]), an
+/// externally executed batched launch, then `complete_round` (backprop +
+/// budget charge). Implemented by the sequential- and block-tree session
+/// engines; the standalone searchers keep their lockstep loops.
+pub trait SessionEngine<G: Game>: Send {
+    /// Whether the session's budget admits another round.
+    fn wants_more(&self) -> bool;
+    /// Host half of the next round, or `None` when the root is terminal.
+    fn begin_round(&mut self) -> Option<PlayoutRequest<G>>;
+    /// Playout outcomes for this session's blocks (block-major lanes) and
+    /// the round's latency attribution; backpropagates and charges the
+    /// session's budget tracker.
+    fn complete_round(&mut self, lanes: &[LaneOutcome], latency: &RoundLatency);
+    /// Builds the session's final report.
+    fn finish(&mut self) -> SearchReport<G::Move>;
+}
+
+/// Sequential-tree session: one tree, one block per round, the block's
+/// lanes are a leaf-parallel playout batch for the selected frontier node.
+/// Not bit-identical to [`SequentialSearcher`] (whose playouts run on the
+/// CPU model) — by design: the service trades the CPU playout for device
+/// lanes.
+struct SequentialSession<G: Game> {
+    inner: SequentialSearcher<G>,
+    tree: SearchTree<G>,
+    tracker: BudgetTracker,
+    phases: PhaseBreakdown,
+    simulations: u64,
+    /// Frontier node + host cost between `begin_round` and
+    /// `complete_round`.
+    pending: Option<(u32, SimTime)>,
+}
+
+impl<G: Game> SessionEngine<G> for SequentialSession<G> {
+    fn wants_more(&self) -> bool {
+        self.tracker.may_continue()
+    }
+
+    fn begin_round(&mut self) -> Option<PlayoutRequest<G>> {
+        assert!(self.pending.is_none(), "round already begun");
+        if self.tree.is_terminal(self.tree.root()) {
+            return None;
+        }
+        let (node, depth) = self
+            .inner
+            .select_and_expand(&mut self.tree, &mut self.phases);
+        let host_cost = self.inner.config().cpu_cost.tree_op(depth);
+        self.pending = Some((node, host_cost));
+        Some(PlayoutRequest {
+            positions: vec![*self.tree.state(node)],
+            host_cost,
+        })
+    }
+
+    fn complete_round(&mut self, lanes: &[LaneOutcome], latency: &RoundLatency) {
+        let (node, host_cost) = self.pending.take().expect("no round in flight");
+        let (wins_p1, n) = aggregate(lanes);
+        self.tree.backprop(node, wins_p1, n);
+        self.simulations += n;
+        self.phases.simulations += n;
+        self.phases.queue += latency.queue;
+        self.phases.upload += latency.upload;
+        self.phases.kernel += latency.kernel;
+        self.phases.readback += latency.readback;
+        self.phases.kernel_launches += 1;
+        self.tracker.charge(host_cost + latency.total());
+    }
+
+    fn finish(&mut self) -> SearchReport<G::Move> {
+        let mut phases = self.phases.clone();
+        phases.budget_overshoot = self.tracker.overshoot();
+        SearchReport {
+            best_move: self.tree.best_move(self.inner.config().final_move),
+            simulations: self.simulations,
+            iterations: self.tracker.iterations,
+            tree_nodes: self.tree.len() as u64,
+            max_depth: self.tree.max_depth(),
+            elapsed: self.tracker.elapsed,
+            root_stats: self.tree.root_stats(),
+            phases,
+        }
+    }
+}
+
+/// Block-tree session: `B` independent trees, one block each per round —
+/// the block-parallel scheme's host phases (shared with
+/// [`crate::block_parallel`]), with the launch delegated to the service.
+struct BlockSession<G: Game> {
+    config: MctsConfig,
+    trees: Vec<SearchTree<G>>,
+    rng: Xoshiro256pp,
+    tracker: BudgetTracker,
+    phases: PhaseBreakdown,
+    simulations: u64,
+    pool: Arc<WorkerPool>,
+    threads_per_block: usize,
+    pending: Option<(BlockFrontier<G>, SimTime)>,
+}
+
+/// Per-round frontier of a block session: `(node, position, depth)` per
+/// block, as produced by `block_parallel::select_and_expand_all`.
+type BlockFrontier<G> = Vec<(u32, G, u32)>;
+
+impl<G: Game> SessionEngine<G> for BlockSession<G> {
+    fn wants_more(&self) -> bool {
+        self.tracker.may_continue()
+    }
+
+    fn begin_round(&mut self) -> Option<PlayoutRequest<G>> {
+        assert!(self.pending.is_none(), "round already begun");
+        if self.trees[0].is_terminal(self.trees[0].root()) {
+            return None;
+        }
+        let (frontier, host_cost) = select_and_expand_all(
+            &mut self.trees,
+            &mut self.rng,
+            self.config.exploration_c,
+            &self.config.cpu_cost,
+            &self.pool,
+            &mut self.phases,
+        );
+        let positions = frontier.iter().map(|&(_, s, _)| s).collect();
+        self.pending = Some((frontier, host_cost));
+        Some(PlayoutRequest {
+            positions,
+            host_cost,
+        })
+    }
+
+    fn complete_round(&mut self, lanes: &[LaneOutcome], latency: &RoundLatency) {
+        let (frontier, host_cost) = self.pending.take().expect("no round in flight");
+        self.simulations += backprop_outputs(
+            &mut self.trees,
+            &frontier,
+            lanes,
+            self.threads_per_block,
+            None,
+            &self.pool,
+            &mut self.phases,
+        );
+        self.phases.queue += latency.queue;
+        self.phases.upload += latency.upload;
+        self.phases.kernel += latency.kernel;
+        self.phases.readback += latency.readback;
+        self.phases.kernel_launches += 1;
+        self.tracker.charge(host_cost + latency.total());
+    }
+
+    fn finish(&mut self) -> SearchReport<G::Move> {
+        report_from_trees(
+            &self.config,
+            &self.trees,
+            &self.tracker,
+            self.simulations,
+            self.phases.clone(),
+        )
+    }
+}
+
+/// One admitted session's lifecycle record, returned by
+/// [`SearchService::take_completed`].
+#[derive(Clone, Debug)]
+pub struct CompletedSession<M> {
+    /// The session's id.
+    pub id: SessionId,
+    /// Service clock when the session was admitted.
+    pub admitted_at: SimTime,
+    /// Service clock when the session retired. Always equals
+    /// `admitted_at + report.elapsed` (see the module docs).
+    pub completed_at: SimTime,
+    /// The session's final search report.
+    pub report: SearchReport<M>,
+}
+
+/// One batched launch the service performed.
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchRecord {
+    /// Sessions packed into the launch.
+    pub sessions: u32,
+    /// Total blocks of the merged grid.
+    pub blocks: u32,
+    /// Device-side elapsed time (overhead + execution + readback).
+    pub elapsed: SimTime,
+}
+
+struct Session<G: Game> {
+    id: SessionId,
+    admitted_at: SimTime,
+    engine: Box<dyn SessionEngine<G>>,
+}
+
+/// The multi-session search service (see the module docs).
+pub struct SearchService<G: Game> {
+    device: Device,
+    threads_per_block: u32,
+    seed: u64,
+    launch_prep: SimTime,
+    epoch: u64,
+    clock: SimTime,
+    next_id: u64,
+    active: Vec<Session<G>>,
+    completed: Vec<CompletedSession<G::Move>>,
+    launches: Vec<LaunchRecord>,
+}
+
+impl<G: Game> SearchService<G> {
+    /// Creates a service over `device`. Every block of every batched
+    /// launch runs `threads_per_block` playout lanes; `seed` drives the
+    /// per-launch lane RNG streams. Host-side launch preparation is billed
+    /// at the Xeon model's rate (same as the standalone GPU searchers).
+    pub fn new(device: Device, threads_per_block: u32, seed: u64) -> Self {
+        SearchService {
+            device,
+            threads_per_block,
+            seed,
+            launch_prep: CpuCostModel::xeon_x5670().launch_prep,
+            epoch: 0,
+            clock: SimTime::ZERO,
+            next_id: 0,
+            active: Vec::new(),
+            completed: Vec::new(),
+            launches: Vec::new(),
+        }
+    }
+
+    /// Admits a sequential-tree session (one block per round) searching
+    /// `root` under `budget`. The session joins the next round.
+    pub fn admit_sequential(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+        config: MctsConfig,
+    ) -> SessionId {
+        let engine = SequentialSession {
+            inner: SequentialSearcher::new(config),
+            tree: SearchTree::new(root),
+            tracker: BudgetTracker::new(budget),
+            phases: PhaseBreakdown::new(),
+            simulations: 0,
+            pending: None,
+        };
+        self.admit(Box::new(engine))
+    }
+
+    /// Admits a block-tree session (`blocks` trees, one block each per
+    /// round) searching `root` under `budget`.
+    pub fn admit_block(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+        config: MctsConfig,
+        blocks: u32,
+    ) -> SessionId {
+        assert!(blocks >= 1, "block session needs ≥ 1 tree");
+        let rng = Xoshiro256pp::derive(config.seed, 0xB10C);
+        let engine = BlockSession {
+            trees: (0..blocks).map(|_| SearchTree::new(root)).collect(),
+            rng,
+            config,
+            tracker: BudgetTracker::new(budget),
+            phases: PhaseBreakdown::new(),
+            simulations: 0,
+            pool: Arc::clone(self.device.worker_pool()),
+            threads_per_block: self.threads_per_block as usize,
+            pending: None,
+        };
+        self.admit(Box::new(engine))
+    }
+
+    fn admit(&mut self, engine: Box<dyn SessionEngine<G>>) -> SessionId {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        self.active.push(Session {
+            id,
+            admitted_at: self.clock,
+            engine,
+        });
+        id
+    }
+
+    /// Runs one batched round: retires exhausted sessions, collects every
+    /// remaining session's [`PlayoutRequest`] in session-id order, packs
+    /// them into one kernel launch, and completes each session with its
+    /// output slice and latency share. Returns `false` when no launch ran
+    /// (no session had work left).
+    pub fn step(&mut self) -> bool {
+        // Retire-or-begin pass, in session-id order (admission order — ids
+        // are monotone and `active` is never reordered).
+        let clock = self.clock;
+        let mut requests: Vec<PlayoutRequest<G>> = Vec::new();
+        let mut still: Vec<Session<G>> = Vec::new();
+        for mut session in std::mem::take(&mut self.active) {
+            let request = if session.engine.wants_more() {
+                session.engine.begin_round()
+            } else {
+                None
+            };
+            match request {
+                Some(r) => {
+                    requests.push(r);
+                    still.push(session);
+                }
+                None => self.completed.push(CompletedSession {
+                    id: session.id,
+                    admitted_at: session.admitted_at,
+                    completed_at: clock,
+                    report: session.engine.finish(),
+                }),
+            }
+        }
+        self.active = still;
+        if requests.is_empty() {
+            return false;
+        }
+
+        // One merged launch: session i's blocks are consecutive, in
+        // session-id order. The lane RNG streams derive from the service
+        // seed, the launch epoch and the lane's global index.
+        let segments: Vec<BatchSegment> = self
+            .active
+            .iter()
+            .zip(&requests)
+            .map(|(s, r)| BatchSegment {
+                key: s.id.0,
+                blocks: r.positions.len() as u32,
+            })
+            .collect();
+        let roots: Vec<G> = requests
+            .iter()
+            .flat_map(|r| r.positions.iter().copied())
+            .collect();
+        self.epoch += 1;
+        let stream_seed = self
+            .seed
+            .wrapping_add(self.epoch.wrapping_mul(0xA076_1D64_78BD_642F));
+        let kernel = PlayoutKernel::new(roots, stream_seed);
+        let upload = self.device.spec().transfer_time(kernel.upload_bytes());
+        let batched = self
+            .device
+            .launch_batched(&kernel, self.threads_per_block, &segments);
+        let stats = &batched.result.stats;
+
+        // Shared round components; each session's `queue` is everyone
+        // else's host work, so every participant sees the same round
+        // latency (see the module docs).
+        let total_host = requests
+            .iter()
+            .fold(SimTime::ZERO, |acc, r| acc + r.host_cost);
+        let upload_phase = self.launch_prep + upload;
+        let kernel_phase = stats.launch_overhead + stats.device_time;
+        for (i, session) in self.active.iter_mut().enumerate() {
+            let latency = RoundLatency {
+                queue: total_host.saturating_sub(requests[i].host_cost),
+                upload: upload_phase,
+                kernel: kernel_phase,
+                readback: stats.readback_time,
+            };
+            session
+                .engine
+                .complete_round(batched.outputs_for(i), &latency);
+        }
+        self.launches.push(LaunchRecord {
+            sessions: segments.len() as u32,
+            blocks: segments.iter().map(|s| s.blocks).sum(),
+            elapsed: stats.elapsed(),
+        });
+        self.clock += total_host + upload_phase + kernel_phase + stats.readback_time;
+        true
+    }
+
+    /// Steps until every admitted session has retired (the final, launch-
+    /// free call to [`Self::step`] is the retire pass for sessions
+    /// exhausted by the last round).
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Drains the completed-session records accumulated so far, in
+    /// completion order (ties broken by session id — the retire pass runs
+    /// in id order).
+    pub fn take_completed(&mut self) -> Vec<CompletedSession<G::Move>> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// The service's virtual clock: total time spent across all rounds.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Sessions admitted but not yet retired.
+    pub fn active_sessions(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Every batched launch performed so far, in launch order.
+    pub fn launches(&self) -> &[LaunchRecord] {
+        &self.launches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcts_games::{Reversi, TicTacToe};
+    use pmcts_gpu_sim::DeviceSpec;
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::tesla_c2050())
+    }
+
+    fn cfg(seed: u64) -> MctsConfig {
+        MctsConfig::default().with_seed(seed)
+    }
+
+    #[test]
+    fn solo_session_completes_within_one_round_of_deadline() {
+        let mut svc = SearchService::<Reversi>::new(device(), 32, 99);
+        let budget = SimTime::from_millis(5);
+        svc.admit_sequential(
+            Reversi::initial(),
+            SearchBudget::VirtualTime(budget),
+            cfg(1),
+        );
+        svc.run_to_completion();
+        let done = svc.take_completed();
+        assert_eq!(done.len(), 1);
+        let c = &done[0];
+        assert!(c.report.simulations > 0);
+        assert_eq!(c.completed_at - c.admitted_at, c.report.elapsed);
+        // Predictive stopping: at most one round past the deadline, and
+        // the overshoot is recorded.
+        assert!(
+            c.report.elapsed < budget * 2,
+            "elapsed {}",
+            c.report.elapsed
+        );
+        assert_eq!(
+            c.report.phases.budget_overshoot,
+            c.report.elapsed.saturating_sub(budget)
+        );
+    }
+
+    #[test]
+    fn sessions_share_batched_launches() {
+        let mut svc = SearchService::<Reversi>::new(device(), 32, 7);
+        for s in 0..4 {
+            svc.admit_sequential(
+                Reversi::initial(),
+                SearchBudget::Iterations(3),
+                cfg(100 + s),
+            );
+        }
+        svc.run_to_completion();
+        let done = svc.take_completed();
+        assert_eq!(done.len(), 4);
+        // Equal budgets ⇒ every round packs all four sessions.
+        assert_eq!(svc.launches().len(), 3);
+        for l in svc.launches() {
+            assert_eq!(l.sessions, 4);
+            assert_eq!(l.blocks, 4);
+        }
+        for c in &done {
+            assert_eq!(c.report.iterations, 3);
+            assert_eq!(c.report.simulations, 3 * 32);
+        }
+    }
+
+    #[test]
+    fn phase_ledger_is_exact_including_queue() {
+        let mut svc = SearchService::<Reversi>::new(device(), 32, 3);
+        svc.admit_sequential(Reversi::initial(), SearchBudget::Iterations(4), cfg(1));
+        svc.admit_block(Reversi::initial(), SearchBudget::Iterations(2), cfg(2), 3);
+        svc.run_to_completion();
+        let done = svc.take_completed();
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert_eq!(
+                c.report.phases.phase_sum(),
+                c.report.elapsed,
+                "session {} ledger must include queueing",
+                c.id
+            );
+            assert_eq!(c.completed_at - c.admitted_at, c.report.elapsed);
+        }
+        // The co-scheduled session really queued behind the other's host
+        // work.
+        assert!(done.iter().all(|c| c.report.phases.queue > SimTime::ZERO));
+    }
+
+    #[test]
+    fn batching_beats_back_to_back_solo_runs() {
+        let budget = SearchBudget::VirtualTime(SimTime::from_millis(4));
+        let run = |batched: bool| -> (u64, SimTime) {
+            let mut sims = 0;
+            let mut time = SimTime::ZERO;
+            if batched {
+                let mut svc = SearchService::<Reversi>::new(device(), 32, 5);
+                for s in 0..8 {
+                    svc.admit_sequential(Reversi::initial(), budget, cfg(s));
+                }
+                svc.run_to_completion();
+                sims = svc
+                    .take_completed()
+                    .iter()
+                    .map(|c| c.report.simulations)
+                    .sum();
+                time = svc.clock();
+            } else {
+                for s in 0..8 {
+                    let mut svc = SearchService::<Reversi>::new(device(), 32, 5);
+                    svc.admit_sequential(Reversi::initial(), budget, cfg(s));
+                    svc.run_to_completion();
+                    sims += svc.take_completed()[0].report.simulations;
+                    time += svc.clock();
+                }
+            }
+            (sims, time)
+        };
+        let (sims_b, time_b) = run(true);
+        let (sims_u, time_u) = run(false);
+        let pps_b = sims_b as f64 / time_b.as_nanos() as f64;
+        let pps_u = sims_u as f64 / time_u.as_nanos() as f64;
+        assert!(
+            pps_b >= 1.5 * pps_u,
+            "batched {pps_b} playouts/ns should be ≥ 1.5× solo {pps_u}"
+        );
+    }
+
+    #[test]
+    fn terminal_root_retires_immediately() {
+        let s = TicTacToe::parse("XXX OO. ...", pmcts_games::Player::P2).unwrap();
+        let mut svc = SearchService::<TicTacToe>::new(device(), 32, 1);
+        svc.admit_sequential(s, SearchBudget::Iterations(10), cfg(1));
+        svc.run_to_completion();
+        let done = svc.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].report.best_move, None);
+        assert_eq!(done[0].report.simulations, 0);
+        assert!(svc.launches().is_empty());
+    }
+
+    #[test]
+    fn service_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut svc = SearchService::<Reversi>::new(device(), 32, seed);
+            for s in 0..3 {
+                svc.admit_sequential(Reversi::initial(), SearchBudget::Iterations(5), cfg(10 + s));
+            }
+            svc.run_to_completion();
+            svc.take_completed()
+                .into_iter()
+                .map(|c| c.report.root_stats)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

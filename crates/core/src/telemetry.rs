@@ -8,8 +8,8 @@
 //! [`SearchReport`](crate::searcher::SearchReport).
 //!
 //! Because all experiment timing is virtual (`SimTime` derived from the
-//! cost models), the breakdown is **exact**: the six phase times sum to the
-//! report's `elapsed` to the nanosecond, and the same seed produces a
+//! cost models), the breakdown is **exact**: the seven phase times sum to
+//! the report's `elapsed` to the nanosecond, and the same seed produces a
 //! bit-identical breakdown. There is no sampling or measurement noise.
 //!
 //! Phase attribution follows the cost-model constituents (DESIGN.md
@@ -20,6 +20,7 @@
 //! |------------|-------------------|
 //! | `select`   | depth-proportional part of `CpuCostModel::tree_op` (UCB descent) |
 //! | `expand`   | fixed part of `tree_op` (node creation + backprop bookkeeping) |
+//! | `queue`    | multi-session service only: waiting for *other* sessions sharing a batched kernel launch |
 //! | `upload`   | `launch_prep` + host→device transfer of frontier positions |
 //! | `kernel`   | device launch overhead + device compute; CPU playout time on CPU-only schemes |
 //! | `readback` | device→host transfer of playout results |
@@ -47,6 +48,10 @@ pub struct PhaseBreakdown {
     /// Expansion + backpropagation bookkeeping (fixed part of each tree
     /// operation).
     pub expand: SimTime,
+    /// Cross-session queueing delay: virtual time a service session spent
+    /// waiting for *other* sessions' host phases before the shared batched
+    /// kernel launch. Zero for every standalone searcher.
+    pub queue: SimTime,
     /// Host launch preparation plus host→device transfer of the frontier.
     pub upload: SimTime,
     /// Simulation time on the critical path: kernel launch overhead +
@@ -65,6 +70,12 @@ pub struct PhaseBreakdown {
     /// shorter of (kernel, shadow) per launch window, i.e. how much slower
     /// a serialised schedule would have been.
     pub overlap_saved: SimTime,
+    /// Virtual time spent beyond a `VirtualTime` budget (informational,
+    /// already contained in the phase times; zero for iteration budgets).
+    /// Bounded by one iteration cost for every scheme — and usually zero,
+    /// since the deadline-aware stopping rule only overshoots when the
+    /// final iteration costs more than its predecessor.
+    pub budget_overshoot: SimTime,
 
     /// Playouts performed (all components: trees, lanes, ranks, shadow).
     pub simulations: u64,
@@ -99,10 +110,16 @@ impl PhaseBreakdown {
         Self::default()
     }
 
-    /// Sum of the six exclusive phase times; equals the report's `elapsed`
-    /// exactly for every searcher in this crate.
+    /// Sum of the seven exclusive phase times; equals the report's
+    /// `elapsed` exactly for every searcher in this crate.
     pub fn phase_sum(&self) -> SimTime {
-        self.select + self.expand + self.upload + self.kernel + self.readback + self.merge
+        self.select
+            + self.expand
+            + self.queue
+            + self.upload
+            + self.kernel
+            + self.readback
+            + self.merge
     }
 
     /// Host-sequential share of the phase sum: everything the CPU does
@@ -175,6 +192,7 @@ impl PhaseBreakdown {
     pub fn adopt_times(&mut self, other: &PhaseBreakdown) {
         self.select = other.select;
         self.expand = other.expand;
+        self.queue = other.queue;
         self.upload = other.upload;
         self.kernel = other.kernel;
         self.readback = other.readback;
@@ -234,19 +252,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn phase_sum_adds_the_six_phases() {
+    fn phase_sum_adds_the_seven_phases() {
         let b = PhaseBreakdown {
             select: SimTime::from_nanos(1),
             expand: SimTime::from_nanos(2),
+            queue: SimTime::from_nanos(64),
             upload: SimTime::from_nanos(4),
             kernel: SimTime::from_nanos(8),
             readback: SimTime::from_nanos(16),
             merge: SimTime::from_nanos(32),
             shadow_overlap: SimTime::from_nanos(1 << 20), // excluded
             overlap_saved: SimTime::from_nanos(1 << 20),  // excluded
+            budget_overshoot: SimTime::from_nanos(1 << 20), // excluded
             ..PhaseBreakdown::default()
         };
-        assert_eq!(b.phase_sum(), SimTime::from_nanos(63));
+        assert_eq!(b.phase_sum(), SimTime::from_nanos(127));
         assert_eq!(b.host_time(), SimTime::from_nanos(1 + 2 + 16 + 32));
     }
 

@@ -202,13 +202,15 @@ impl<G: Game> Searcher<G> for TreeParallelSearcher<G> {
 
         let tree = tree.into_inner();
         let iterations = iterations.load(Ordering::Relaxed);
+        let elapsed = crit.map(|i| worker_results[i].0).unwrap_or(SimTime::ZERO);
+        phases.budget_overshoot = crate::searcher::overshoot_of(budget, elapsed);
         SearchReport {
             best_move: tree.best_move(config.final_move),
             simulations: iterations,
             iterations,
             tree_nodes: tree.len() as u64,
             max_depth: tree.max_depth(),
-            elapsed: crit.map(|i| worker_results[i].0).unwrap_or(SimTime::ZERO),
+            elapsed,
             root_stats: tree.root_stats(),
             phases,
         }

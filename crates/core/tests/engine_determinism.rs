@@ -339,7 +339,128 @@ fn persistent_reroot_identical_across_host_threads() {
     }
 }
 
-// ---- 5. Re-root compaction preserves every surviving node ----------------
+// ---- 5. Multi-session search service across host-thread counts -----------
+
+/// A mixed service workload: sequential and block sessions, time and
+/// iteration budgets, plus one session admitted mid-run. Returns the full
+/// lifecycle of every session — ids, admission/completion clocks and the
+/// complete report — which must be bit-identical for any host-thread
+/// count.
+#[allow(clippy::type_complexity)]
+fn service_transcript(
+    threads: usize,
+) -> Vec<(
+    u64,
+    SimTime,
+    SimTime,
+    SearchReport<pmcts_games::ReversiMove>,
+)> {
+    let mut svc = SearchService::<Reversi>::new(device(threads), 32, 77);
+    for s in 0..4u64 {
+        svc.admit_sequential(
+            Reversi::initial(),
+            SearchBudget::VirtualTime(SimTime::from_millis(3)),
+            cfg(50 + s),
+        );
+    }
+    svc.admit_block(Reversi::initial(), SearchBudget::Iterations(4), cfg(60), 2);
+    for _ in 0..2 {
+        assert!(svc.step());
+    }
+    // Late admission: joins the batch from the next round on.
+    svc.admit_sequential(
+        Reversi::initial(),
+        SearchBudget::VirtualTime(SimTime::from_millis(2)),
+        cfg(61),
+    );
+    svc.run_to_completion();
+    svc.take_completed()
+        .into_iter()
+        .map(|c| (c.id.0, c.admitted_at, c.completed_at, c.report))
+        .collect()
+}
+
+#[test]
+fn search_service_identical_across_host_threads() {
+    let baseline = service_transcript(HOST_THREADS[0]);
+    assert_eq!(baseline.len(), 6, "every session must complete");
+    for &threads in &HOST_THREADS[1..] {
+        assert_eq!(
+            baseline,
+            service_transcript(threads),
+            "service transcript changed at {threads} host threads"
+        );
+    }
+}
+
+#[test]
+fn late_admitted_session_still_meets_deadline_under_full_batch() {
+    // 15 long-running sessions saturate the batch; a session admitted
+    // after three full rounds must still finish within one round of its
+    // own (much shorter) deadline — the scheduler charges it only the
+    // rounds it participates in, so an earlier-admitted cohort can never
+    // starve it.
+    let mut svc = SearchService::<Reversi>::new(device(2), 32, 9);
+    for s in 0..15u64 {
+        svc.admit_sequential(
+            Reversi::initial(),
+            SearchBudget::VirtualTime(SimTime::from_millis(40)),
+            cfg(70 + s),
+        );
+    }
+    for _ in 0..3 {
+        assert!(svc.step());
+    }
+    let budget = SimTime::from_millis(5);
+    let late = svc.admit_sequential(
+        Reversi::initial(),
+        SearchBudget::VirtualTime(budget),
+        cfg(99),
+    );
+    let mut late_done = None;
+    while late_done.is_none() {
+        assert!(
+            svc.step(),
+            "service drained before the late session finished"
+        );
+        for c in svc.take_completed() {
+            if c.id == late {
+                late_done = Some(c);
+            }
+        }
+    }
+    let c = late_done.unwrap();
+    // It really ran inside full batches (16 sessions per launch)...
+    assert!(
+        svc.launches().iter().any(|l| l.sessions == 16),
+        "late session never shared a full batch"
+    );
+    // ...was neither starved nor overshot: it used most of its budget and
+    // stopped within one batched round of the deadline.
+    assert_eq!(c.completed_at - c.admitted_at, c.report.elapsed);
+    assert!(
+        c.report.elapsed >= budget / 2,
+        "late session starved: only {} of {}",
+        c.report.elapsed,
+        budget
+    );
+    assert!(
+        c.report.elapsed < budget * 2,
+        "late session blew its deadline: {} for {}",
+        c.report.elapsed,
+        budget
+    );
+    assert_eq!(
+        c.report.phases.budget_overshoot,
+        c.report.elapsed.saturating_sub(budget)
+    );
+    assert!(
+        c.report.phases.queue > SimTime::ZERO,
+        "queueing was accounted"
+    );
+}
+
+// ---- 6. Re-root compaction preserves every surviving node ----------------
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

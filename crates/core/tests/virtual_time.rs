@@ -80,14 +80,81 @@ fn block_parallel_host_cost_grows_with_tree_count() {
 
 #[test]
 fn virtual_time_budget_is_respected_within_one_iteration() {
-    // A searcher may overshoot the budget by at most one iteration's cost.
+    // The deadline-aware stopping rule lands within one iteration's cost of
+    // the budget on either side: it stops as soon as the previous
+    // iteration's cost no longer fits, and only overshoots when the final
+    // iteration costs more than its predecessor.
     let budget_time = SimTime::from_millis(10);
     let r = SequentialSearcher::<Reversi>::new(MctsConfig::default().with_seed(5))
         .search(Reversi::initial(), SearchBudget::VirtualTime(budget_time));
     let cost = MctsConfig::default().cpu_cost;
     let max_iter_cost = cost.tree_op(r.max_depth) + cost.playout(Reversi::MAX_GAME_LENGTH as u32);
-    assert!(r.elapsed >= budget_time);
+    assert!(r.elapsed >= budget_time.saturating_sub(max_iter_cost));
     assert!(r.elapsed <= budget_time + max_iter_cost);
+    // The recorded overshoot matches elapsed vs budget exactly and stays
+    // under one iteration's cost.
+    assert_eq!(
+        r.phases.budget_overshoot,
+        r.elapsed.saturating_sub(budget_time)
+    );
+    assert!(r.phases.budget_overshoot < max_iter_cost);
+}
+
+#[test]
+fn budget_overshoot_is_bounded_for_every_scheme() {
+    // The fairness fix: no scheme gets more than one iteration's grace past
+    // a virtual-time deadline, however expensive its iterations are — and
+    // the recorded overshoot must equal elapsed − budget exactly.
+    let budget_time = SimTime::from_millis(30);
+    let budget = SearchBudget::VirtualTime(budget_time);
+    let device = || Device::c2050();
+    let launch = LaunchConfig::new(4, 32);
+    let root = Reversi::initial();
+    let cfg = || MctsConfig::default().with_seed(11);
+
+    let reports: Vec<(String, SearchReport<_>)> = vec![
+        (
+            "sequential".into(),
+            SequentialSearcher::<Reversi>::new(cfg()).search(root, budget),
+        ),
+        (
+            "leaf".into(),
+            LeafParallelSearcher::<Reversi>::new(cfg(), device(), launch).search(root, budget),
+        ),
+        (
+            "block".into(),
+            BlockParallelSearcher::<Reversi>::new(cfg(), device(), launch).search(root, budget),
+        ),
+        (
+            "hybrid".into(),
+            HybridSearcher::<Reversi>::new(cfg(), device(), launch).search(root, budget),
+        ),
+        (
+            "root".into(),
+            RootParallelSearcher::<Reversi>::new(cfg(), 4).search(root, budget),
+        ),
+    ];
+    for (name, r) in &reports {
+        assert_eq!(
+            r.phases.budget_overshoot,
+            r.elapsed.saturating_sub(budget_time),
+            "{name}: overshoot must be exactly elapsed - budget"
+        );
+        // One iteration can cost at most one worst-case tree op per tree
+        // plus the full kernel round; bound it loosely by the whole budget
+        // and tightly by requiring elapsed < 2x budget.
+        assert!(
+            r.elapsed < budget_time * 2,
+            "{name}: elapsed {} runs far past the {} budget",
+            r.elapsed,
+            budget_time
+        );
+        assert!(
+            r.phases.budget_overshoot < budget_time,
+            "{name}: overshoot {} is no smaller than an entire budget",
+            r.phases.budget_overshoot
+        );
+    }
 }
 
 #[test]

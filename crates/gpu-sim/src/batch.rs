@@ -1,0 +1,204 @@
+//! Cross-session batched kernel launches.
+//!
+//! The search service packs playout work from many *independent* search
+//! sessions into one kernel launch: block `b` of the merged grid serves
+//! segment `b`'s queue, exactly like the block-parallel scheme maps one
+//! tree per block, except the blocks now belong to different searches.
+//! One launch overhead and one device round-trip are amortised over every
+//! participating session, and the device's SMs see a grid large enough to
+//! keep them busy — the same saturation effect the paper's Fig. 5 plateau
+//! comes from, applied across sessions instead of across trees.
+//!
+//! Determinism: a batch is described by an ordered list of
+//! [`BatchSegment`]s. The caller must order segments by a stable identity
+//! (the service uses session ids), **never** by arrival order; the merged
+//! grid, the per-lane RNG streams and the per-segment output slices are
+//! then pure functions of that order.
+
+use crate::device::Device;
+use crate::kernel::{Kernel, LaunchConfig};
+use crate::launch::LaunchResult;
+use std::ops::Range;
+
+/// One session's (or more generally one client's) share of a batched
+/// launch: `blocks` consecutive blocks of the merged grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchSegment {
+    /// Caller-chosen stable identity (e.g. a session id). Carried through
+    /// to the result untouched; the caller is responsible for ordering
+    /// segments by it deterministically.
+    pub key: u64,
+    /// Number of consecutive blocks of the merged grid owned by this
+    /// segment (must be ≥ 1).
+    pub blocks: u32,
+}
+
+/// The result of one batched launch: a single merged [`LaunchResult`] plus
+/// the segment table needed to hand each participant its output slice.
+#[derive(Clone, Debug)]
+pub struct BatchedResult<O> {
+    /// The merged launch: outputs of every segment's blocks, concatenated
+    /// in segment order, with one set of launch statistics.
+    pub result: LaunchResult<O>,
+    /// Per-segment `(key, output range)` in segment order.
+    segments: Vec<(u64, Range<usize>)>,
+    /// Geometry shared by every block of the batch.
+    threads_per_block: u32,
+}
+
+impl<O> BatchedResult<O> {
+    /// Number of segments (sessions) packed into the launch.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The caller-chosen key of segment `i`.
+    pub fn key(&self, i: usize) -> u64 {
+        self.segments[i].0
+    }
+
+    /// The merged grid's threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.threads_per_block
+    }
+
+    /// Output slice belonging to segment `i` (its blocks' lanes, in global
+    /// thread order).
+    pub fn outputs_for(&self, i: usize) -> &[O] {
+        &self.result.outputs[self.segments[i].1.clone()]
+    }
+
+    /// Iterates `(key, outputs)` pairs in segment order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[O])> {
+        self.segments
+            .iter()
+            .map(|(key, range)| (*key, &self.result.outputs[range.clone()]))
+    }
+}
+
+impl Device {
+    /// Launches one kernel serving every segment of a batch.
+    ///
+    /// The merged grid has `Σ segment.blocks` blocks of `threads_per_block`
+    /// threads; segment `i`'s blocks are consecutive, starting where
+    /// segment `i − 1`'s ended. The kernel sees ordinary block indices —
+    /// callers encode the per-segment work in the kernel itself (the
+    /// playout kernel maps block `b` to root `b`, so concatenating the
+    /// segments' root arrays in segment order is sufficient).
+    ///
+    /// Virtual cost: exactly one launch overhead, one device execution
+    /// (max over SMs of the whole grid) and one readback — that is the
+    /// point of batching. The caller decides how to attribute the shared
+    /// cost to sessions.
+    ///
+    /// # Panics
+    /// Panics if `segments` is empty, any segment has zero blocks, or the
+    /// merged config is invalid for this device.
+    pub fn launch_batched<K: Kernel>(
+        &self,
+        kernel: &K,
+        threads_per_block: u32,
+        segments: &[BatchSegment],
+    ) -> BatchedResult<K::Output> {
+        assert!(!segments.is_empty(), "batched launch needs ≥ 1 segment");
+        let mut table = Vec::with_capacity(segments.len());
+        let mut first_thread = 0usize;
+        let mut total_blocks = 0u32;
+        for seg in segments {
+            assert!(seg.blocks >= 1, "segment {} has zero blocks", seg.key);
+            let threads = seg.blocks as usize * threads_per_block as usize;
+            table.push((seg.key, first_thread..first_thread + threads));
+            first_thread += threads;
+            total_blocks += seg.blocks;
+        }
+        let config = LaunchConfig::new(total_blocks, threads_per_block);
+        let result = self.launch(kernel, config);
+        BatchedResult {
+            result,
+            segments: table,
+            threads_per_block,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::kernel::ThreadId;
+
+    /// A kernel whose output identifies the emitting lane and block.
+    struct Tag;
+    impl Kernel for Tag {
+        type ThreadState = ();
+        type Output = (u32, u32);
+        fn init(&self, _tid: ThreadId) {}
+        fn step(&self, _s: &mut (), _tid: ThreadId) -> bool {
+            true
+        }
+        fn finish(&self, _s: (), tid: ThreadId) -> (u32, u32) {
+            (tid.block, tid.global)
+        }
+    }
+
+    #[test]
+    fn batched_launch_equals_one_merged_launch() {
+        let dev = Device::new(DeviceSpec::tesla_c2050()).with_host_threads(2);
+        let segments = [
+            BatchSegment { key: 7, blocks: 2 },
+            BatchSegment { key: 3, blocks: 1 },
+            BatchSegment { key: 9, blocks: 3 },
+        ];
+        let batched = dev.launch_batched(&Tag, 32, &segments);
+        let plain = dev.launch(&Tag, LaunchConfig::new(6, 32));
+        assert_eq!(batched.result.outputs, plain.outputs);
+        assert_eq!(batched.result.stats, plain.stats);
+    }
+
+    #[test]
+    fn segment_slices_partition_the_outputs() {
+        let dev = Device::new(DeviceSpec::tesla_c2050()).with_host_threads(2);
+        let segments = [
+            BatchSegment { key: 1, blocks: 1 },
+            BatchSegment { key: 2, blocks: 2 },
+        ];
+        let b = dev.launch_batched(&Tag, 32, &segments);
+        assert_eq!(b.segment_count(), 2);
+        assert_eq!(b.threads_per_block(), 32);
+        assert_eq!(b.key(0), 1);
+        assert_eq!(b.key(1), 2);
+        assert_eq!(b.outputs_for(0).len(), 32);
+        assert_eq!(b.outputs_for(1).len(), 64);
+        // Segment 0 owns block 0; segment 1 owns blocks 1..3.
+        assert!(b.outputs_for(0).iter().all(|&(blk, _)| blk == 0));
+        assert!(b
+            .outputs_for(1)
+            .iter()
+            .all(|&(blk, _)| blk == 1 || blk == 2));
+        // Global lane ids tile the grid with no gaps or overlaps.
+        let all: Vec<u32> = b.iter().flat_map(|(_, o)| o.iter().map(|t| t.1)).collect();
+        assert_eq!(all, (0..96).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn one_launch_overhead_for_the_whole_batch() {
+        let dev = Device::new(DeviceSpec::tesla_c2050()).with_host_threads(2);
+        let many = [
+            BatchSegment { key: 0, blocks: 1 },
+            BatchSegment { key: 1, blocks: 1 },
+            BatchSegment { key: 2, blocks: 1 },
+            BatchSegment { key: 3, blocks: 1 },
+        ];
+        let b = dev.launch_batched(&Tag, 32, &many);
+        let solo = dev.launch(&Tag, LaunchConfig::new(1, 32));
+        // The batch pays the fixed overhead once, not once per segment.
+        assert_eq!(b.result.stats.launch_overhead, solo.stats.launch_overhead);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ≥ 1 segment")]
+    fn empty_batch_panics() {
+        let dev = Device::new(DeviceSpec::scalar());
+        dev.launch_batched(&Tag, 1, &[]);
+    }
+}

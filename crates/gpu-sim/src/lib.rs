@@ -39,6 +39,7 @@
 //! reproducible bit-for-bit from a seed, and a simulated GPU player and a
 //! simulated CPU player can be given identical virtual time budgets.
 
+pub mod batch;
 pub mod device;
 pub mod executor;
 pub mod kernel;
@@ -46,6 +47,7 @@ pub mod launch;
 pub mod pool;
 pub mod stats;
 
+pub use batch::{BatchSegment, BatchedResult};
 pub use device::{Device, DeviceSpec};
 pub use kernel::{Kernel, LaunchConfig, ThreadId};
 pub use launch::{LaunchResult, PendingLaunch};

@@ -12,6 +12,11 @@ Usage:
                                  no-regression gate on the sequential
                                  search record's playouts_per_sec
           fault_matrix.json      every cell degraded gracefully
+          serve.json             multi-session serving: per-move phase
+                                 ledgers exact, sessions-per-launch > 1,
+                                 batched speedup gate (>= 1.5x vs solo),
+                                 latency percentiles present and ordered,
+                                 p99 within the per-move deadline slack
           divergence_report.txt  per-phase efficiency table parses
 
     --baseline FILE   committed BENCH_throughput.json to compare against
@@ -37,6 +42,7 @@ import sys
 PHASE_FIELDS = [
     "select_ns",
     "expand_ns",
+    "queue_ns",
     "upload_ns",
     "kernel_ns",
     "readback_ns",
@@ -266,6 +272,86 @@ def check_fault_matrix(path):
     )
 
 
+MIN_SERVE_SPEEDUP = 1.5
+SERVE_SUMMARY_FIELDS = [
+    "games",
+    "moves",
+    "move_budget_ns",
+    "launches",
+    "sessions_per_launch_mean",
+    "sessions_per_launch_max",
+    "batched_playouts_per_sec",
+    "unbatched_playouts_per_sec",
+    "batched_speedup_vs_unbatched",
+    "latency_p50_ns",
+    "latency_p95_ns",
+    "latency_p99_ns",
+]
+
+
+def check_serve(path):
+    """Multi-session serving artifact: one record per move with the exact
+    (seven-phase, queue-inclusive) ledger, plus a summary whose batching
+    statistics clear the amortisation gates."""
+    data = json.load(open(path))
+    moves = [r for r in data if r.get("kind") == "move"]
+    summary = next((r for r in data if r.get("kind") == "summary"), None)
+    if summary is None:
+        fail(f"{path}: no summary record")
+    if not moves:
+        fail(f"{path}: no per-move records")
+    for i, rec in enumerate(moves):
+        where = f"{path}[{i}] (game {rec.get('game', '?')} ply {rec.get('ply', '?')})"
+        check_phase_ledger(rec, where)
+        for f in ("game", "ply", "session", "latency_ns"):
+            if f not in rec:
+                fail(f"{where}: missing field {f!r}")
+        if rec["latency_ns"] != rec["elapsed_ns"]:
+            fail(
+                f"{where}: latency_ns {rec['latency_ns']} != elapsed_ns"
+                f" {rec['elapsed_ns']} (service clock must match session time)"
+            )
+        for f in WALL_FIELDS:
+            if f in rec:
+                fail(f"{where}: wall-clock field {f!r} breaks determinism diffing")
+    for f in SERVE_SUMMARY_FIELDS:
+        if f not in summary:
+            fail(f"{path}: summary lacks {f!r}")
+    for f in WALL_FIELDS:
+        if f in summary:
+            fail(f"{path}: summary wall-clock field {f!r} breaks determinism diffing")
+    if summary["sessions_per_launch_mean"] <= 1.0:
+        fail(
+            f"{path}: sessions_per_launch_mean"
+            f" {summary['sessions_per_launch_mean']} <= 1 (no cross-session batching)"
+        )
+    p50, p95, p99 = (
+        summary["latency_p50_ns"],
+        summary["latency_p95_ns"],
+        summary["latency_p99_ns"],
+    )
+    if not p50 <= p95 <= p99:
+        fail(f"{path}: latency percentiles not ordered: {p50} / {p95} / {p99}")
+    # Deadline scheduling: the predictive stopper may overshoot a per-move
+    # budget by at most one batched round, comfortably under 2x budget.
+    if summary["move_budget_ns"] > 0 and p99 >= 2 * summary["move_budget_ns"]:
+        fail(
+            f"{path}: latency_p99_ns {p99} >= 2x move budget"
+            f" {summary['move_budget_ns']} (deadline scheduling broken)"
+        )
+    speedup = summary["batched_speedup_vs_unbatched"]
+    if speedup < MIN_SERVE_SPEEDUP:
+        fail(
+            f"{path}: batched serving only {speedup:.2f}x vs back-to-back solo"
+            f" (gate: >= {MIN_SERVE_SPEEDUP}x)"
+        )
+    print(
+        f"check_bench: OK: {path}: {len(moves)} moves,"
+        f" {summary['sessions_per_launch_mean']:.1f} sessions/launch,"
+        f" batched {speedup:.2f}x vs solo, p99 within deadline slack"
+    )
+
+
 def check_divergence(path):
     text = open(path).read()
     if "divergence_report" not in text.splitlines()[0]:
@@ -293,6 +379,7 @@ CHECKS = {
     "profile.json": check_profile,
     "BENCH_throughput.json": check_throughput,
     "fault_matrix.json": check_fault_matrix,
+    "serve.json": check_serve,
     "divergence_report.txt": check_divergence,
 }
 
