@@ -2,7 +2,7 @@
 //!
 //! Everything the other binaries report is *virtual* time from the cost
 //! models; this binary is the exception that measures how fast the host
-//! actually grinds through the work (DESIGN.md §7). Three layers:
+//! actually grinds through the work (DESIGN.md §7). Five layers:
 //!
 //! 1. **Raw playouts** — allocation-free `random_playout` on one core.
 //! 2. **Kernel simulation** — the same launch executed by the retained
@@ -19,6 +19,13 @@
 //!    plus per-scheme host-phase loops replayed on both layouts. The
 //!    summary's `tree_ops_*_speedup_vs_aos` and `host_phase_speedup_*`
 //!    fields are the acceptance numbers for the SoA tree rewrite.
+//! 5. **Bounded recycling** — a capacity-capped tree driven past its cap
+//!    (fill, one untimed settle window, two timed windows) against an
+//!    unbounded reference on the same drive loop. The run executes twice
+//!    and must produce identical checksums (eviction determinism); the
+//!    summary's `bounded_steady_state_vs_unbounded` is the acceptance
+//!    number for LRU recycling + the transposition table (gate: >= 1.0x,
+//!    see `scripts/check_bench.py`).
 //!
 //! Outputs and `KernelStats` of the two engines are asserted equal before
 //! timing, so the speedup is measured on provably identical work; the two
@@ -365,6 +372,154 @@ fn bench_tree_ops(
     (vec![soa_rec, aos_rec], speedups)
 }
 
+/// Steady-state throughput of the capacity-capped tree (DESIGN.md §12).
+///
+/// Runs the canonical MCTS loop on a bounded arena until it fills, then
+/// times two consecutive windows in which **every** expansion recycles an
+/// evicted slot — the fixed-RSS regime long-lived sessions run in. The
+/// identical loop on an unbounded tree (same warmup, same timed iteration
+/// count) is the reference: the unbounded tree keeps growing while the
+/// capped arena stays cache-resident, so steady-state throughput at cap
+/// must hold at ≥ 1.0x unbounded (`bounded_steady_state_vs_unbounded`,
+/// gated by check_bench.py). The bounded pass runs twice and reports both
+/// checksums: recycling is deterministic, so they must be equal.
+fn bench_bounded_tree_ops(
+    position: Reversi,
+    cap: u32,
+    window: u64,
+    seed: u64,
+) -> (Vec<JsonObject>, f64, f64) {
+    struct BoundedPass {
+        checksum: u64,
+        warmup_iters: u64,
+        rate_a: f64,
+        rate_b: f64,
+        wall_ns: u64,
+        live_nodes: u64,
+        evictions: u64,
+        tt: TransStats,
+    }
+    let drive = |tree: &mut SearchTree<Reversi>, rng: &mut Xoshiro256pp, i: u64| -> u64 {
+        let sel = tree.select(EXPLORATION_C);
+        let node = if !tree.fully_expanded(sel) {
+            tree.expand(sel, rng)
+        } else {
+            sel
+        };
+        tree.backprop(node, (i % 3) as f64 / 2.0, 1);
+        u64::from(node)
+    };
+    let run_bounded = || {
+        let mut tree = SearchTree::bounded(position, cap);
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut checksum = 0u64;
+        let mut i = 0u64;
+        // Warmup: fill the arena, so the timed windows only see recycling.
+        while tree.live_nodes() < cap as usize {
+            checksum = checksum.wrapping_add(drive(&mut tree, &mut rng, i));
+            i += 1;
+        }
+        // Settle: one full untimed window after the fill, so the timed
+        // windows see a saturated transposition table and a recycling-
+        // shaped tree, not the transition into that regime.
+        for _ in 0..window {
+            checksum = checksum.wrapping_add(drive(&mut tree, &mut rng, i));
+            i += 1;
+        }
+        let warmup_iters = i;
+        let start = Instant::now();
+        for _ in 0..window {
+            checksum = checksum.wrapping_add(drive(&mut tree, &mut rng, i));
+            i += 1;
+        }
+        let a_ns = start.elapsed().as_nanos() as u64;
+        let start = Instant::now();
+        for _ in 0..window {
+            checksum = checksum.wrapping_add(drive(&mut tree, &mut rng, i));
+            i += 1;
+        }
+        let b_ns = start.elapsed().as_nanos() as u64;
+        checksum = checksum
+            .wrapping_add(tree.visits(tree.root()))
+            .wrapping_add(tree.evictions());
+        BoundedPass {
+            checksum,
+            warmup_iters,
+            rate_a: rate(window, a_ns),
+            rate_b: rate(window, b_ns),
+            wall_ns: a_ns + b_ns,
+            live_nodes: tree.live_nodes() as u64,
+            evictions: tree.evictions(),
+            tt: tree.transposition_stats().expect("bounded tree"),
+        }
+    };
+
+    let pass = run_bounded();
+    let rerun = run_bounded();
+    // The unbounded reference warms up for the same iteration count the
+    // bounded pass needed to fill its arena.
+    let warmup = pass.warmup_iters;
+    assert_eq!(
+        pass.checksum, rerun.checksum,
+        "bounded recycling must be deterministic"
+    );
+
+    let (unbounded_rate, unbounded_ns, unbounded_nodes, unbounded_checksum) = {
+        let mut tree = SearchTree::new(position);
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut checksum = 0u64;
+        let mut i = 0u64;
+        while i < warmup {
+            checksum = checksum.wrapping_add(drive(&mut tree, &mut rng, i));
+            i += 1;
+        }
+        let start = Instant::now();
+        for _ in 0..2 * window {
+            checksum = checksum.wrapping_add(drive(&mut tree, &mut rng, i));
+            i += 1;
+        }
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        checksum = checksum.wrapping_add(tree.visits(tree.root()));
+        (
+            rate(2 * window, wall_ns),
+            wall_ns,
+            tree.len() as u64,
+            checksum,
+        )
+    };
+
+    let steady_rate = rate(2 * window, pass.wall_ns);
+    let vs_unbounded = steady_rate / unbounded_rate;
+    let window_ratio = pass.rate_b / pass.rate_a;
+    let bounded_rec = JsonObject::new()
+        .str_field("record", "tree_ops")
+        .str_field("layout", "bounded_lru")
+        .u64_field("cap", u64::from(cap))
+        .u64_field("nodes", pass.live_nodes)
+        .u64_field("iters", 2 * window)
+        .u64_field("wall_ns", pass.wall_ns)
+        .f64_field("iters_per_sec", steady_rate)
+        .f64_field("window_a_iters_per_sec", pass.rate_a)
+        .f64_field("window_b_iters_per_sec", pass.rate_b)
+        .f64_field("steady_window_ratio", window_ratio)
+        .u64_field("evictions", pass.evictions)
+        .u64_field("tt_hits", pass.tt.hits)
+        .u64_field("tt_recovered_visits", pass.tt.recovered_visits)
+        .u64_field("tt_drops", pass.tt.drops)
+        .u64_field("tt_occupied", pass.tt.occupied)
+        .u64_field("checksum", pass.checksum)
+        .u64_field("checksum_rerun", rerun.checksum);
+    let unbounded_rec = JsonObject::new()
+        .str_field("record", "tree_ops")
+        .str_field("layout", "unbounded_ref")
+        .u64_field("nodes", unbounded_nodes)
+        .u64_field("iters", 2 * window)
+        .u64_field("wall_ns", unbounded_ns)
+        .f64_field("iters_per_sec", unbounded_rate)
+        .u64_field("checksum", unbounded_checksum);
+    (vec![bounded_rec, unbounded_rec], vs_unbounded, window_ratio)
+}
+
 /// Replays one scheme's host-side phase loop — block-order selection,
 /// expansion and backprop over `blocks` trees with synthetic kernel
 /// results, plus the hybrid scheme's CPU-shadow iteration when `shadow` —
@@ -572,6 +727,17 @@ fn main() {
         bench_tree_ops(position, tree_nodes, tree_ops, tree_ops, args.seed);
     records.extend(tree_records);
 
+    // Capacity-capped steady state: recycling throughput at cap vs the
+    // unbounded tree, plus the determinism double-run.
+    let (bounded_cap, bounded_window) = if args.full {
+        (8192u32, 60_000u64)
+    } else {
+        (4096, 20_000)
+    };
+    let (bounded_records, bounded_vs_unbounded, bounded_window_ratio) =
+        bench_bounded_tree_ops(position, bounded_cap, bounded_window, args.seed);
+    records.extend(bounded_records);
+
     let mut host_phase_speedups = Vec::new();
     for (scheme, blocks, lanes, shadow) in [
         ("sequential", 1usize, 1u32, false),
@@ -614,7 +780,9 @@ fn main() {
         .f64_field("kernel_speedup_vs_lockstep_1_thread", speedup_1t)
         .f64_field("tree_ops_select_speedup_vs_aos", sel_speedup)
         .f64_field("tree_ops_expand_speedup_vs_aos", exp_speedup)
-        .f64_field("tree_ops_backprop_speedup_vs_aos", bp_speedup);
+        .f64_field("tree_ops_backprop_speedup_vs_aos", bp_speedup)
+        .f64_field("bounded_steady_state_vs_unbounded", bounded_vs_unbounded)
+        .f64_field("bounded_steady_window_ratio", bounded_window_ratio);
     for &(scheme, speedup) in &host_phase_speedups {
         summary = summary.f64_field(&format!("host_phase_speedup_{scheme}"), speedup);
     }
@@ -628,6 +796,10 @@ fn main() {
     eprintln!(
         "SoA tree speedup vs AoS baseline: select {sel_speedup:.2}x, \
          expand {exp_speedup:.2}x, backprop {bp_speedup:.2}x"
+    );
+    eprintln!(
+        "bounded steady state at cap {bounded_cap}: \
+         {bounded_vs_unbounded:.2}x vs unbounded"
     );
     for &(scheme, speedup) in &host_phase_speedups {
         eprintln!("host-phase speedup ({scheme}): {speedup:.2}x vs AoS");

@@ -99,7 +99,9 @@ impl<G: Game> BlockParallelSearcher<G> {
     ) -> (Vec<SearchTree<G>>, BudgetTracker, u64, PhaseBreakdown) {
         let blocks = self.launch.blocks as usize;
         let tpb = self.launch.threads_per_block as usize;
-        let mut trees: Vec<SearchTree<G>> = (0..blocks).map(|_| SearchTree::new(root)).collect();
+        let mut trees: Vec<SearchTree<G>> = (0..blocks)
+            .map(|_| SearchTree::for_config(root, &self.config))
+            .collect();
         let mut tracker = BudgetTracker::new(budget);
         let mut phases = PhaseBreakdown::new();
         let mut simulations = 0u64;
@@ -309,7 +311,7 @@ pub(crate) fn report_from_trees<G: Game>(
         best_move: best_from_stats(&merged, config.final_move),
         simulations,
         iterations: tracker.iterations,
-        tree_nodes: trees.iter().map(|t| t.len() as u64).sum(),
+        tree_nodes: trees.iter().map(|t| t.live_nodes() as u64).sum(),
         max_depth: trees.iter().map(|t| t.max_depth()).max().unwrap_or(0),
         elapsed: tracker.elapsed,
         root_stats: merged,
@@ -343,7 +345,7 @@ pub fn iteration_cost_breakdown<G: Game>(
     let host = cpu.launch_prep + cpu.tree_op(avg_depth) * launch.blocks as u64;
     let upload = device
         .spec()
-        .transfer_time((launch.blocks as usize * std::mem::size_of::<G>()) as u64);
+        .transfer_time((launch.blocks as usize * G::device_state_bytes()) as u64);
     (host, upload)
 }
 

@@ -43,6 +43,13 @@ pub struct MctsConfig {
     /// default) reproduces fault-free behaviour bit-for-bit: fault queries
     /// draw from their own derived streams, never from the search RNGs.
     pub faults: FaultPlan,
+    /// Node capacity of each search tree. `None` (the default) grows trees
+    /// without bound, reproducing the unbounded fingerprints bit-for-bit.
+    /// `Some(n)` caps every tree built through this config at `n` arena
+    /// slots: cold nodes are recycled by deterministic LRU eviction and a
+    /// Zobrist transposition table recovers evicted statistics on
+    /// re-expansion (see `SearchTree::bounded` and DESIGN.md §12).
+    pub max_tree_nodes: Option<u32>,
 }
 
 /// Rule for picking the move to play after search.
@@ -64,6 +71,7 @@ impl Default for MctsConfig {
             cpu_cost: CpuCostModel::xeon_x5670(),
             final_move: FinalMoveRule::RobustChild,
             faults: FaultPlan::none(),
+            max_tree_nodes: None,
         }
     }
 }
@@ -100,6 +108,18 @@ impl MctsConfig {
     /// Replaces the fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Caps every tree built through this config at `max_nodes` arena
+    /// slots (LRU node recycling + transposition table).
+    ///
+    /// # Panics
+    /// Panics if `max_nodes < 64`: the cap must comfortably exceed the
+    /// deepest selection path, which is always pinned against eviction.
+    pub fn with_tree_capacity(mut self, max_nodes: u32) -> Self {
+        assert!(max_nodes >= 64, "tree capacity must be ≥ 64 nodes");
+        self.max_tree_nodes = Some(max_nodes);
         self
     }
 }

@@ -72,9 +72,11 @@ impl<G: Game> PlayoutKernel<G> {
     }
 
     /// Bytes uploaded to the device for the root positions (charged by the
-    /// caller as a host→device transfer).
+    /// caller as a host→device transfer). Uses the game's wire payload
+    /// size, not `size_of::<G>()`: host-only caches like the Zobrist hash
+    /// are never uploaded.
     pub fn upload_bytes(&self) -> u64 {
-        (self.roots.len() * std::mem::size_of::<G>()) as u64
+        (self.roots.len() * G::device_state_bytes()) as u64
     }
 }
 

@@ -66,7 +66,9 @@ impl<G: Game> Searcher<G> for HybridSearcher<G> {
     fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
         let blocks = self.launch.blocks as usize;
         let tpb = self.launch.threads_per_block as usize;
-        let mut trees: Vec<SearchTree<G>> = (0..blocks).map(|_| SearchTree::new(root)).collect();
+        let mut trees: Vec<SearchTree<G>> = (0..blocks)
+            .map(|_| SearchTree::for_config(root, &self.config))
+            .collect();
         let mut tracker = BudgetTracker::new(budget);
         let mut phases = PhaseBreakdown::new();
         let mut simulations = 0u64;

@@ -62,6 +62,7 @@ pub mod searcher;
 pub mod sequential;
 pub mod service;
 pub mod telemetry;
+pub mod transposition;
 pub mod tree;
 pub mod tree_aos;
 pub mod tree_parallel;
@@ -84,6 +85,7 @@ pub mod prelude {
     pub use crate::sequential::SequentialSearcher;
     pub use crate::service::{CompletedSession, SearchService, SessionId};
     pub use crate::telemetry::PhaseBreakdown;
+    pub use crate::transposition::{TransStats, TransTable};
     pub use crate::tree_parallel::TreeParallelSearcher;
     pub use pmcts_games::{Connect4, Game, Hex7, Outcome, Player, Reversi, TicTacToe};
     pub use pmcts_gpu_sim::{Device, DeviceSpec, LaunchConfig};

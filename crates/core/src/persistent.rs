@@ -70,12 +70,12 @@ impl<G: Game> Searcher<G> for PersistentSearcher<G> {
                 }
                 None => {
                     self.last_reused_visits = 0;
-                    SearchTree::new(root)
+                    SearchTree::for_config(root, &self.config)
                 }
             },
             None => {
                 self.last_reused_visits = 0;
-                SearchTree::new(root)
+                SearchTree::for_config(root, &self.config)
             }
         };
 
@@ -90,7 +90,7 @@ impl<G: Game> Searcher<G> for PersistentSearcher<G> {
             best_move: tree.best_move(self.config.final_move),
             simulations,
             iterations: tracker.iterations,
-            tree_nodes: tree.len() as u64,
+            tree_nodes: tree.live_nodes() as u64,
             max_depth: tree.max_depth(),
             elapsed: tracker.elapsed,
             root_stats: tree.root_stats(),

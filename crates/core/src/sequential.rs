@@ -55,7 +55,7 @@ impl<G: Game> SequentialSearcher<G> {
         root: G,
         budget: SearchBudget,
     ) -> (SearchReport<G::Move>, SearchTree<G>) {
-        let mut tree = SearchTree::new(root);
+        let mut tree = SearchTree::for_config(root, &self.config);
         let mut tracker = BudgetTracker::new(budget);
         let mut phases = PhaseBreakdown::new();
         let mut simulations = 0u64;
@@ -67,7 +67,7 @@ impl<G: Game> SequentialSearcher<G> {
             best_move: tree.best_move(self.config.final_move),
             simulations,
             iterations: tracker.iterations,
-            tree_nodes: tree.len() as u64,
+            tree_nodes: tree.live_nodes() as u64,
             max_depth: tree.max_depth(),
             elapsed: tracker.elapsed,
             root_stats: tree.root_stats(),

@@ -183,7 +183,7 @@ impl<G: Game> SessionEngine<G> for SequentialSession<G> {
             best_move: self.tree.best_move(self.inner.config().final_move),
             simulations: self.simulations,
             iterations: self.tracker.iterations,
-            tree_nodes: self.tree.len() as u64,
+            tree_nodes: self.tree.live_nodes() as u64,
             max_depth: self.tree.max_depth(),
             elapsed: self.tracker.elapsed,
             root_stats: self.tree.root_stats(),
@@ -342,8 +342,8 @@ impl<G: Game> SearchService<G> {
         config: MctsConfig,
     ) -> SessionId {
         let engine = SequentialSession {
+            tree: SearchTree::for_config(root, &config),
             inner: SequentialSearcher::new(config),
-            tree: SearchTree::new(root),
             tracker: BudgetTracker::new(budget),
             phases: PhaseBreakdown::new(),
             simulations: 0,
@@ -364,7 +364,9 @@ impl<G: Game> SearchService<G> {
         assert!(blocks >= 1, "block session needs ≥ 1 tree");
         let rng = Xoshiro256pp::derive(config.seed, 0xB10C);
         let engine = BlockSession {
-            trees: (0..blocks).map(|_| SearchTree::new(root)).collect(),
+            trees: (0..blocks)
+                .map(|_| SearchTree::for_config(root, &config))
+                .collect(),
             rng,
             config,
             tracker: BudgetTracker::new(budget),

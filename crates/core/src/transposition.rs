@@ -1,0 +1,286 @@
+//! Open-addressed Zobrist transposition table for bounded search trees.
+//!
+//! Two jobs (see DESIGN.md §12):
+//!
+//! 1. **Stat recovery across eviction.** When the bounded [`SearchTree`]
+//!    recycles a cold node, its `(visits, wins)` are accumulated here under
+//!    the position's Zobrist key. If the position is ever expanded again —
+//!    through the same line or a transposition — the accumulated statistics
+//!    seed the fresh node instead of starting from zero.
+//! 2. **O(1) re-rooting.** Each live node registers its key, replacing
+//!    `find_state`'s O(len) full-array scan in `PersistentSearcher`
+//!    re-rooting with a bounded probe.
+//!
+//! The table is fixed-size, open-addressed with linear probing over a
+//! bounded run. Everything is deterministic: probe order is a pure
+//! function of the key, and when a run is full the entry with the fewest
+//! accumulated visits (first such in probe order) is replaced. The table
+//! is lossy by design — a dropped entry only loses recoverable statistics
+//! or a re-root shortcut, never tree correctness.
+//!
+//! [`SearchTree`]: crate::tree::SearchTree
+
+use crate::tree::NodeId;
+
+/// Sentinel: entry holds accumulated stats but no live tree node.
+const NO_NODE: NodeId = NodeId::MAX;
+
+/// Entries probed per lookup before declaring the run full.
+const PROBE_RUN: usize = 8;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    key: u64,
+    /// Simulations accumulated from evicted nodes of this position.
+    visits: u64,
+    /// Reward (for the player who moved into the position) accumulated
+    /// from evicted nodes. The perspective is transposition-safe: equal
+    /// states share the same side to move, hence the same mover-into.
+    wins: f64,
+    /// The live tree node currently holding this position, if any.
+    /// Last-registered-wins when transpositions create several.
+    node: NodeId,
+    used: bool,
+}
+
+const EMPTY: Entry = Entry {
+    key: 0,
+    visits: 0,
+    wins: 0.0,
+    node: NO_NODE,
+    used: false,
+};
+
+/// Counters exposed for benches, tests and the throughput artifact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransStats {
+    /// Expansions that recovered previously evicted statistics.
+    pub hits: u64,
+    /// Total visits those expansions recovered.
+    pub recovered_visits: u64,
+    /// Entries discarded because a probe run was full.
+    pub drops: u64,
+    /// Occupied entries.
+    pub occupied: u64,
+}
+
+/// Fixed-size open-addressed transposition table keyed by Zobrist hash.
+#[derive(Clone, Debug)]
+pub struct TransTable {
+    mask: usize,
+    entries: Vec<Entry>,
+    stats: TransStats,
+}
+
+impl TransTable {
+    /// Creates a table with at least `min_entries` slots (rounded up to a
+    /// power of two, minimum 16).
+    pub fn new(min_entries: usize) -> Self {
+        let cap = min_entries.max(16).next_power_of_two();
+        TransTable {
+            mask: cap - 1,
+            entries: vec![EMPTY; cap],
+            stats: TransStats::default(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> TransStats {
+        self.stats
+    }
+
+    #[inline]
+    fn probe_start(&self, key: u64) -> usize {
+        key as usize & self.mask
+    }
+
+    /// Registers `node` as the live holder of `key` and consumes any
+    /// statistics accumulated from earlier evictions of this position,
+    /// returning them for the caller to seed the fresh node with.
+    ///
+    /// When the probe run is full of other positions, the run's entry with
+    /// the fewest accumulated visits is replaced (deterministically — the
+    /// first minimum in probe order).
+    pub fn register(&mut self, key: u64, node: NodeId) -> Option<(u64, f64)> {
+        let start = self.probe_start(key);
+        let mut victim = start;
+        let mut victim_visits = u64::MAX;
+        for i in 0..PROBE_RUN {
+            let slot = (start + i) & self.mask;
+            let e = &mut self.entries[slot];
+            if !e.used {
+                *e = Entry {
+                    key,
+                    visits: 0,
+                    wins: 0.0,
+                    node,
+                    used: true,
+                };
+                self.stats.occupied += 1;
+                return None;
+            }
+            if e.key == key {
+                e.node = node;
+                if e.visits > 0 {
+                    let recovered = (e.visits, e.wins);
+                    e.visits = 0;
+                    e.wins = 0.0;
+                    self.stats.hits += 1;
+                    self.stats.recovered_visits += recovered.0;
+                    return Some(recovered);
+                }
+                return None;
+            }
+            if e.visits < victim_visits {
+                victim_visits = e.visits;
+                victim = slot;
+            }
+        }
+        // Run full of foreign keys: replace the least-established entry.
+        self.entries[victim] = Entry {
+            key,
+            visits: 0,
+            wins: 0.0,
+            node,
+            used: true,
+        };
+        self.stats.drops += 1;
+        None
+    }
+
+    /// Accumulates an evicted node's statistics under `key` and clears the
+    /// live-node link if it still points at `node`. Lossy when the probe
+    /// run is full of better-established positions.
+    pub fn accumulate(&mut self, key: u64, visits: u64, wins: f64, node: NodeId) {
+        let start = self.probe_start(key);
+        let mut victim = start;
+        let mut victim_visits = u64::MAX;
+        for i in 0..PROBE_RUN {
+            let slot = (start + i) & self.mask;
+            let e = &mut self.entries[slot];
+            if !e.used {
+                *e = Entry {
+                    key,
+                    visits,
+                    wins,
+                    node: NO_NODE,
+                    used: true,
+                };
+                self.stats.occupied += 1;
+                return;
+            }
+            if e.key == key {
+                e.visits += visits;
+                e.wins += wins;
+                if e.node == node {
+                    e.node = NO_NODE;
+                }
+                return;
+            }
+            if e.visits < victim_visits {
+                victim_visits = e.visits;
+                victim = slot;
+            }
+        }
+        if victim_visits < visits {
+            self.entries[victim] = Entry {
+                key,
+                visits,
+                wins,
+                node: NO_NODE,
+                used: true,
+            };
+        }
+        self.stats.drops += 1;
+    }
+
+    /// The live tree node registered for `key`, if any. Callers must
+    /// verify state equality — distinct positions can share a hash.
+    pub fn find(&self, key: u64) -> Option<NodeId> {
+        let start = self.probe_start(key);
+        for i in 0..PROBE_RUN {
+            let slot = (start + i) & self.mask;
+            let e = &self.entries[slot];
+            if !e.used {
+                return None;
+            }
+            if e.key == key && e.node != NO_NODE {
+                return Some(e.node);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_then_find() {
+        let mut t = TransTable::new(64);
+        assert_eq!(t.register(42, 7), None);
+        assert_eq!(t.find(42), Some(7));
+        assert_eq!(t.find(43), None);
+    }
+
+    #[test]
+    fn accumulate_and_recover_on_reexpansion() {
+        let mut t = TransTable::new(64);
+        t.register(42, 7);
+        t.accumulate(42, 10, 6.5, 7);
+        // The link is cleared; stats wait for the next expansion.
+        assert_eq!(t.find(42), None);
+        let (v, w) = t.register(42, 9).expect("stats recovered");
+        assert_eq!(v, 10);
+        assert_eq!(w, 6.5);
+        assert_eq!(t.find(42), Some(9));
+        // Recovery consumes the stats: a second expansion starts cold.
+        t.accumulate(42, 3, 1.0, 9);
+        let (v2, _) = t.register(42, 11).expect("second recovery");
+        assert_eq!(v2, 3, "earlier stats were consumed, not double-counted");
+    }
+
+    #[test]
+    fn last_registered_node_wins() {
+        let mut t = TransTable::new(64);
+        t.register(42, 7);
+        t.register(42, 8);
+        assert_eq!(t.find(42), Some(8));
+        // Evicting the superseded node must not clear the newer link.
+        t.accumulate(42, 5, 2.0, 7);
+        assert_eq!(t.find(42), Some(8));
+    }
+
+    #[test]
+    fn full_probe_run_replaces_fewest_visits() {
+        let mut t = TransTable::new(16);
+        // Fill one probe run with keys that collide on the same start slot
+        // (key & mask equal), giving them increasing accumulated visits.
+        let base = 5u64;
+        for i in 0..8u64 {
+            // Identical low bits ⇒ identical probe start slot.
+            let k = base | ((i + 1) << 8);
+            assert_eq!(k & 15, base & 15);
+            t.accumulate(k, i + 1, 0.0, NO_NODE);
+        }
+        let before = t.stats().drops;
+        // A new colliding key with more visits than the weakest entry
+        // replaces it deterministically.
+        let newcomer = base | (99u64 << 8);
+        t.accumulate(newcomer, 100, 1.0, NO_NODE);
+        assert_eq!(t.stats().drops, before + 1);
+        assert_eq!(t.register(newcomer, 1).map(|(v, _)| v), Some(100));
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(TransTable::new(100).capacity(), 128);
+        assert_eq!(TransTable::new(1).capacity(), 16);
+    }
+}

@@ -173,6 +173,33 @@ fn multi_gpu_identical_across_host_threads() {
 }
 
 #[test]
+fn bounded_block_parallel_identical_across_host_threads() {
+    // Capacity-capped trees recycle nodes through the LRU arena; the
+    // eviction order is a pure function of the touch order, so the capped
+    // searchers keep the same cross-host-thread guarantee as unbounded
+    // ones. (See `tests/bounded_tree.rs` for the eviction-specific pins
+    // and safety properties.)
+    assert_reports_identical("bounded block", SearchBudget::Iterations(100), |t| {
+        Box::new(BlockParallelSearcher::new(
+            cfg(28).with_tree_capacity(64),
+            device(t),
+            LaunchConfig::new(4, 32),
+        ))
+    });
+}
+
+#[test]
+fn bounded_hybrid_identical_across_host_threads() {
+    assert_reports_identical("bounded hybrid", SearchBudget::Iterations(90), |t| {
+        Box::new(HybridSearcher::new(
+            cfg(29).with_tree_capacity(64),
+            device(t),
+            LaunchConfig::new(2, 32),
+        ))
+    });
+}
+
+#[test]
 fn multi_node_cpu_identical_across_runs() {
     // Worker split is internal here; determinism is run-to-run.
     let run = || {

@@ -6,12 +6,22 @@
 //! shift-and-AND probes, cheap enough for Monte Carlo playouts.
 
 use crate::game::{Game, MoveBuf, Outcome, Player};
+use crate::zobrist;
 use pmcts_util::Rng64;
 
 /// Board width in columns.
 pub const WIDTH: u8 = 7;
 /// Board height in rows.
 pub const HEIGHT: u8 = 6;
+
+/// Zobrist key domain tag; indices `player * 49 + bit(col, row)`. No
+/// side-to-move key: the stone count determines the mover.
+const ZTAG: u64 = 0x636F_6E6E_6563_0004;
+
+#[inline]
+fn stone_key(p: Player, bit_index: u32) -> u64 {
+    zobrist::key(ZTAG, p.index() as u64 * 49 + bit_index as u64)
+}
 
 /// A Connect Four position.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -26,6 +36,8 @@ pub struct Connect4 {
     plies: u8,
     /// Set when a four-in-a-row has been completed.
     winner: Option<Player>,
+    /// Incremental Zobrist hash (pure function of the stone bitboards).
+    hash: u64,
 }
 
 /// Bit index of (col, row), row 0 at the bottom.
@@ -94,6 +106,7 @@ impl Game for Connect4 {
             heights: [0; WIDTH as usize],
             plies: 0,
             winner: None,
+            hash: 0,
         }
     }
 
@@ -134,6 +147,7 @@ impl Game for Connect4 {
                 self.p2
             }
         };
+        self.hash ^= stone_key(mover, (col * (HEIGHT + 1) + row) as u32);
         self.heights[col as usize] += 1;
         self.plies += 1;
         if has_four(board) {
@@ -162,6 +176,17 @@ impl Game for Connect4 {
             Some(Player::P2) => -1,
             None => 0,
         }
+    }
+
+    #[inline]
+    fn zobrist(&self) -> u64 {
+        self.hash
+    }
+
+    fn device_state_bytes() -> usize {
+        // Everything except the host-only `hash` cache; removing the u64
+        // leaves the struct's alignment (8) and padding unchanged.
+        std::mem::size_of::<Self>() - std::mem::size_of::<u64>()
     }
 
     #[inline]
@@ -291,6 +316,46 @@ mod tests {
             assert!(s.is_terminal());
             assert!(s.outcome().is_some());
         }
+    }
+
+    #[test]
+    fn transposed_move_orders_hash_equal() {
+        // [0, 1, 2] and [2, 1, 0] put P1 on cols 0 and 2, P2 on col 1 —
+        // the same position through different move orders.
+        let mut a = Connect4::initial();
+        for mv in [0u8, 1, 2] {
+            a.apply(mv);
+        }
+        let mut b = Connect4::initial();
+        for mv in [2u8, 1, 0] {
+            b.apply(mv);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.zobrist(), b.zobrist());
+        // Swapping which player owns a stone changes the hash.
+        let mut c = Connect4::initial();
+        for mv in [1u8, 0, 2] {
+            c.apply(mv);
+        }
+        assert_ne!(a.zobrist(), c.zobrist());
+    }
+
+    #[test]
+    fn zobrist_distinguishes_colour_and_square() {
+        use pmcts_util::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::new(31);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..40 {
+            let mut s = Connect4::initial();
+            seen.insert(s.zobrist());
+            while let Some(mv) = s.random_move(&mut rng) {
+                let before = s.zobrist();
+                s.apply(mv);
+                assert_ne!(s.zobrist(), before, "placing a stone must rehash");
+                seen.insert(s.zobrist());
+            }
+        }
+        assert!(seen.len() > 100, "hashes should rarely collide");
     }
 
     #[test]

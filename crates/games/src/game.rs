@@ -116,6 +116,29 @@ pub trait Game: Copy + Clone + PartialEq + Send + Sync + std::fmt::Debug + 'stat
     /// traces of Figs. 7–8.
     fn score(&self) -> i32;
 
+    /// Zobrist hash of the position, including the side to move whenever
+    /// the board alone does not determine it (Connect Four and Hex stone
+    /// counts fix the mover; Reversi passes and hand-built Tic-Tac-Toe
+    /// positions do not).
+    ///
+    /// Implementations maintain the hash **incrementally**: every state
+    /// carries its hash and [`apply`](Self::apply) updates it in O(changed
+    /// stones) with fixed, seed-derived key tables — no allocation, cheap
+    /// enough for the playout hot loop. Equal states (under `PartialEq`)
+    /// always hash equally; the transposition table in `pmcts-core` keys
+    /// on this value.
+    fn zobrist(&self) -> u64;
+
+    /// Bytes of position payload a device kernel needs uploaded: the board
+    /// encoding and side to move, **excluding host-only caches** such as
+    /// the incrementally maintained Zobrist hash, which the device never
+    /// reads. Virtual transfer costs are charged from this value, so it is
+    /// part of the calibrated cost model — implementations pin it to the
+    /// raw board layout rather than `size_of::<Self>()`.
+    fn device_state_bytes() -> usize {
+        std::mem::size_of::<Self>()
+    }
+
     /// Picks a uniformly random legal move, or `None` on terminal states.
     ///
     /// Allocates a fresh move buffer; hot loops (playouts) should call

@@ -11,7 +11,21 @@
 //! as the Reversi move generator.
 
 use crate::game::{Game, MoveBuf, Outcome, Player};
+use crate::zobrist;
 use pmcts_util::Rng64;
+
+/// Zobrist key domain tag; the board size is mixed in so different `Hex<N>`
+/// instantiations never share keys. Indices are `player * N² + cell`; no
+/// side-to-move key (the stone count determines the mover).
+const ZTAG: u64 = 0x6865_7868_6578_0002;
+
+#[inline]
+fn stone_key(n: usize, p: Player, cell: u8) -> u64 {
+    zobrist::key(
+        ZTAG ^ (n as u64) << 32,
+        p.index() as u64 * (n * n) as u64 + cell as u64,
+    )
+}
 
 /// Hex position on an `N`×`N` board, cell index = `row * N + col`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -24,6 +38,8 @@ pub struct Hex<const N: usize> {
     plies: u16,
     /// Winner, set as soon as a connection is completed.
     winner: Option<Player>,
+    /// Incremental Zobrist hash (pure function of the stone bitboards).
+    hash: u64,
 }
 
 /// 5×5 Hex.
@@ -163,6 +179,7 @@ impl<const N: usize> Game for Hex<N> {
             blue: 0,
             plies: 0,
             winner: None,
+            hash: 0,
         }
     }
 
@@ -197,6 +214,7 @@ impl<const N: usize> Game for Hex<N> {
             Player::P1 => self.red |= bit,
             Player::P2 => self.blue |= bit,
         }
+        self.hash ^= stone_key(N, mover, cell);
         self.plies += 1;
         if self.has_won(mover) {
             self.winner = Some(mover);
@@ -227,6 +245,18 @@ impl<const N: usize> Game for Hex<N> {
             Some(Player::P2) => -1,
             None => 0,
         }
+    }
+
+    #[inline]
+    fn zobrist(&self) -> u64 {
+        self.hash
+    }
+
+    fn device_state_bytes() -> usize {
+        // The host-only `hash` cache sits entirely in what was padding
+        // (u128 alignment), so the wire size is the full struct — same 48
+        // bytes as before the cache existed.
+        std::mem::size_of::<Self>()
     }
 
     /// Bitboard-native uniform move choice (`_buf` is unused).
@@ -365,6 +395,27 @@ mod tests {
             }
             assert_eq!(fast, slow, "cell {cell}");
         }
+    }
+
+    #[test]
+    fn transposed_move_orders_hash_equal() {
+        // Red 0, Blue 10, Red 5 vs Red 5, Blue 10, Red 0.
+        let mut a = Hex5::initial();
+        for mv in [0u8, 10, 5] {
+            a.apply(mv);
+        }
+        let mut b = Hex5::initial();
+        for mv in [5u8, 10, 0] {
+            b.apply(mv);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.zobrist(), b.zobrist());
+        // Board sizes key differently: the same cells on Hex7 hash apart.
+        let mut c = Hex7::initial();
+        for mv in [0u8, 10, 5] {
+            c.apply(mv);
+        }
+        assert_ne!(a.zobrist(), c.zobrist());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod playout;
 pub mod policy;
 pub mod reversi;
 pub mod tictactoe;
+pub mod zobrist;
 
 pub use connect4::Connect4;
 pub use game::{Game, MoveBuf, Outcome, Player};

@@ -60,6 +60,9 @@ pub struct Reversi {
     /// White discs (P2).
     white: u64,
     to_move: Player,
+    /// Incremental Zobrist hash, maintained by [`Reversi::apply_counted`]
+    /// in O(flipped discs) from the [`zobrist`] key table.
+    hash: u64,
 }
 
 impl Reversi {
@@ -73,6 +76,7 @@ impl Reversi {
             black,
             white,
             to_move,
+            hash: zobrist::hash(black, white, to_move),
         }
     }
 
@@ -122,9 +126,11 @@ impl Reversi {
         !self.is_terminal() && self.legal_mask() == 0
     }
 
-    /// Zobrist hash of the position (includes side to move).
+    /// Zobrist hash of the position (includes side to move). O(1): the
+    /// hash is carried in the state and updated incrementally by
+    /// [`Reversi::apply_counted`].
     pub fn zobrist(&self) -> u64 {
-        zobrist::hash(self.black, self.white, self.to_move)
+        self.hash
     }
 
     /// Applies a move and returns the number of discs flipped (0 for pass).
@@ -134,6 +140,7 @@ impl Reversi {
         if mv.is_pass() {
             debug_assert_eq!(self.legal_mask(), 0, "pass with placements available");
             self.to_move = self.to_move.opponent();
+            self.hash ^= zobrist::side_key();
             return 0;
         }
         let sq = mv.0;
@@ -144,6 +151,17 @@ impl Reversi {
         );
         let flips = bitboard::flips_for_move(own, opp, sq);
         debug_assert!(flips != 0, "move flips nothing");
+        let mover = self.to_move;
+        // Incremental Zobrist: the placed disc, one colour swap per
+        // flipped disc, and the side-to-move toggle.
+        let mut h = self.hash ^ zobrist::square_key(mover, sq) ^ zobrist::side_key();
+        let mut f = flips;
+        while f != 0 {
+            let s = f.trailing_zeros() as u8;
+            h ^= zobrist::square_key(Player::P1, s) ^ zobrist::square_key(Player::P2, s);
+            f &= f - 1;
+        }
+        self.hash = h;
         let own = own | flips | (1u64 << sq);
         let opp = opp & !flips;
         match self.to_move {
@@ -172,11 +190,11 @@ impl Game for Reversi {
 
     fn initial() -> Self {
         // d4 = White, e4 = Black, d5 = Black, e5 = White; Black to move.
-        Reversi {
-            black: (1u64 << 28) | (1u64 << 35),
-            white: (1u64 << 27) | (1u64 << 36),
-            to_move: Player::P1,
-        }
+        Self::from_bitboards(
+            (1u64 << 28) | (1u64 << 35),
+            (1u64 << 27) | (1u64 << 36),
+            Player::P1,
+        )
     }
 
     #[inline]
@@ -228,6 +246,17 @@ impl Game for Reversi {
     fn score(&self) -> i32 {
         let (b, w) = self.counts();
         b as i32 - w as i32
+    }
+
+    #[inline]
+    fn zobrist(&self) -> u64 {
+        self.hash
+    }
+
+    fn device_state_bytes() -> usize {
+        // Everything except the host-only `hash` cache; removing the u64
+        // leaves the struct's alignment (8) and padding unchanged.
+        std::mem::size_of::<Self>() - std::mem::size_of::<u64>()
     }
 
     /// Bitboard-native uniform move choice: selects a random set bit of the
@@ -410,6 +439,31 @@ mod tests {
     #[should_panic(expected = "overlapping")]
     fn overlapping_bitboards_rejected() {
         Reversi::from_bitboards(1, 1, Player::P1);
+    }
+
+    #[test]
+    fn incremental_zobrist_matches_full_rehash() {
+        use pmcts_util::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::new(13);
+        for _ in 0..20 {
+            let mut s = initial();
+            while let Some(mv) = s.random_move(&mut rng) {
+                s.apply(mv);
+                assert_eq!(
+                    s.zobrist(),
+                    zobrist::hash(s.black(), s.white(), s.to_move()),
+                    "incremental hash drifted after {mv:?}\n{s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pass_updates_hash_by_side_key_only() {
+        let mut s = Reversi::from_bitboards(1 << 1, 1 << 0, Player::P1);
+        let before = s.zobrist();
+        s.apply(ReversiMove::PASS);
+        assert_eq!(s.zobrist(), before ^ zobrist::side_key());
     }
 
     #[test]

@@ -6,6 +6,22 @@
 //! threatened, draw with perfect play from the start).
 
 use crate::game::{Game, MoveBuf, Outcome, Player};
+use crate::zobrist;
+
+/// Zobrist key domain tag; indices `player * 9 + cell` for stones, 18 for
+/// the side-to-move key (needed because `parse`/`from_masks` accept either
+/// side to move on the same board).
+const ZTAG: u64 = 0x7469_6374_6163_0001;
+
+#[inline]
+fn stone_key(p: Player, cell: u8) -> u64 {
+    zobrist::key(ZTAG, p.index() as u64 * 9 + cell as u64)
+}
+
+#[inline]
+fn side_key() -> u64 {
+    zobrist::key(ZTAG, 18)
+}
 
 /// The eight winning lines as cell masks (cells are bits `0..9`, row-major).
 const LINES: [u16; 8] = [
@@ -30,6 +46,8 @@ pub struct TicTacToe {
     /// O stones (P2).
     o: u16,
     to_move: Player,
+    /// Incremental Zobrist hash (pure function of the fields above).
+    hash: u64,
 }
 
 impl TicTacToe {
@@ -38,7 +56,22 @@ impl TicTacToe {
         assert_eq!(x & o, 0, "overlapping marks");
         assert_eq!(x & !FULL, 0, "x outside board");
         assert_eq!(o & !FULL, 0, "o outside board");
-        TicTacToe { x, o, to_move }
+        let mut hash = 0u64;
+        for (player, mut stones) in [(Player::P1, x), (Player::P2, o)] {
+            while stones != 0 {
+                hash ^= stone_key(player, stones.trailing_zeros() as u8);
+                stones &= stones - 1;
+            }
+        }
+        if to_move == Player::P2 {
+            hash ^= side_key();
+        }
+        TicTacToe {
+            x,
+            o,
+            to_move,
+            hash,
+        }
     }
 
     /// Parses a 9-character diagram, row-major, `X`/`O`/`.`.
@@ -91,6 +124,7 @@ impl Game for TicTacToe {
             x: 0,
             o: 0,
             to_move: Player::P1,
+            hash: 0,
         }
     }
 
@@ -120,6 +154,7 @@ impl Game for TicTacToe {
             Player::P1 => self.x |= bit,
             Player::P2 => self.o |= bit,
         }
+        self.hash ^= stone_key(self.to_move, cell) ^ side_key();
         self.to_move = self.to_move.opponent();
     }
 
@@ -143,6 +178,17 @@ impl Game for TicTacToe {
             Some(Player::P2) => -1,
             None => 0,
         }
+    }
+
+    #[inline]
+    fn zobrist(&self) -> u64 {
+        self.hash
+    }
+
+    fn device_state_bytes() -> usize {
+        // Two u16 cell masks + the side byte, u16-aligned: the raw board
+        // layout before the host-only hash cache was added.
+        6
     }
 }
 
@@ -209,6 +255,38 @@ mod tests {
     #[should_panic(expected = "overlapping")]
     fn overlap_rejected() {
         TicTacToe::from_masks(1, 1, Player::P1);
+    }
+
+    #[test]
+    fn incremental_zobrist_matches_reconstruction() {
+        use pmcts_util::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::new(21);
+        for _ in 0..50 {
+            let mut s = TicTacToe::initial();
+            while let Some(mv) = s.random_move(&mut rng) {
+                s.apply(mv);
+                let rebuilt = TicTacToe::from_masks(s.x, s.o, s.to_move);
+                assert_eq!(s.zobrist(), rebuilt.zobrist(), "hash drifted\n{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_move_orders_hash_equal() {
+        // X 0 / O 8 / X 4 and X 4 / O 8 / X 0 reach the same position.
+        let mut a = TicTacToe::initial();
+        for mv in [0u8, 8, 4] {
+            a.apply(mv);
+        }
+        let mut b = TicTacToe::initial();
+        for mv in [4u8, 8, 0] {
+            b.apply(mv);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.zobrist(), b.zobrist());
+        // Side to move participates in the hash.
+        let flipped = TicTacToe::from_masks(a.x, a.o, a.to_move.opponent());
+        assert_ne!(a.zobrist(), flipped.zobrist());
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Table-free Zobrist keys for the generic engines.
+//!
+//! Reversi keeps its classic per-square key table
+//! ([`crate::reversi::zobrist`]); the other engines derive their keys on
+//! demand from a SplitMix64-style finalizer over a `(game tag, index)`
+//! pair. A one-shot mix avoids per-game static tables (Hex is generic over
+//! its board size, so a table per `N` would need a static per
+//! instantiation) while keeping the same guarantees: keys are a pure
+//! function of fixed constants, so hashes are stable across runs,
+//! platforms and thread counts.
+//!
+//! Index-space convention: each game packs `(player, cell)` into a small
+//! integer and reserves indices past the board for extras such as a
+//! side-to-move key. Tags are arbitrary fixed 64-bit constants, distinct
+//! per game (and per Hex board size) so the games' key streams never
+//! collide.
+
+/// Derives the fixed Zobrist key for `index` within a game's `tag` domain.
+///
+/// This is the SplitMix64 output function applied to a `(tag, index)`
+/// mixture — the same finalizer [`pmcts_util::SplitMix64`] uses, evaluated
+/// at a single point instead of along a sequence.
+#[inline]
+pub fn key(tag: u64, index: u64) -> u64 {
+    let mut z = tag
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic() {
+        assert_eq!(key(1, 2), key(1, 2));
+    }
+
+    #[test]
+    fn keys_are_distinct_across_indices_and_tags() {
+        let mut seen = std::collections::HashSet::new();
+        for tag in [0x11u64, 0x22, 0x33] {
+            for idx in 0..256u64 {
+                assert!(seen.insert(key(tag, idx)), "collision at {tag:#x}/{idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_inputs_do_not_produce_zero_keys() {
+        assert_ne!(key(0, 0), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Pins the device wire size of every bundled game.
+//!
+//! Virtual transfer costs are charged from `Game::device_state_bytes`, so
+//! these values are part of the calibrated cost model: changing one shifts
+//! every elapsed-virtual-time fingerprint in the workspace. They equal the
+//! raw board layouts from before the host-only Zobrist hash cache was added
+//! to the states (the device never reads the hash).
+
+use pmcts_games::{Connect4, Game, Hex11, Hex5, Hex7, Reversi, TicTacToe};
+
+#[test]
+fn device_payload_sizes_are_pinned() {
+    assert_eq!(TicTacToe::device_state_bytes(), 6);
+    assert_eq!(Connect4::device_state_bytes(), 32);
+    assert_eq!(Reversi::device_state_bytes(), 24);
+    assert_eq!(Hex5::device_state_bytes(), 48);
+    assert_eq!(Hex7::device_state_bytes(), 48);
+    assert_eq!(Hex11::device_state_bytes(), 48);
+}
+
+#[test]
+fn device_payload_never_exceeds_struct_size() {
+    assert!(TicTacToe::device_state_bytes() <= std::mem::size_of::<TicTacToe>());
+    assert!(Connect4::device_state_bytes() <= std::mem::size_of::<Connect4>());
+    assert!(Reversi::device_state_bytes() <= std::mem::size_of::<Reversi>());
+    assert!(Hex11::device_state_bytes() <= std::mem::size_of::<Hex11>());
+}
