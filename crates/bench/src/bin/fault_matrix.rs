@@ -76,6 +76,12 @@ fn main() {
             &mut BlockParallelSearcher::<Reversi>::new(cfg.clone(), device(), launch),
         );
         run(
+            // Degradation ladder: hang → costed dry-run + retry once →
+            // host block-parallel fallback for the rest of the move.
+            "device_tree",
+            &mut DeviceTreeSearcher::<Reversi>::new(cfg.clone(), device(), launch),
+        );
+        run(
             "hybrid",
             &mut HybridSearcher::<Reversi>::new(cfg.clone(), device(), launch),
         );
@@ -101,7 +107,7 @@ fn main() {
     }
 
     eprintln!(
-        "{} cells ({} fault classes × 6 schemes), {iters} iterations each",
+        "{} cells ({} fault classes × 7 schemes), {iters} iterations each",
         records.len(),
         fault_classes(args.seed).len(),
     );

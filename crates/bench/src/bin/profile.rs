@@ -122,6 +122,13 @@ fn main() {
             &mut BlockParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch),
         );
         records.push(geom(r));
+        // Device-resident tree: host select/expand are legitimately zero
+        // (the kernel phase absorbs them) but the ledger must still sum.
+        let r = run(
+            "device_tree",
+            &mut DeviceTreeSearcher::<Reversi>::new(cfg(), device.clone(), launch),
+        );
+        records.push(geom(r));
         let r = run(
             "hybrid",
             &mut HybridSearcher::<Reversi>::new(cfg(), device.clone(), launch),

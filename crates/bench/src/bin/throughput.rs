@@ -12,7 +12,11 @@
 //!    summary record's `kernel_speedup_vs_lockstep` is the acceptance
 //!    number for the engine rewrite.
 //! 3. **Full searches** — wall-clock iterations/s and playouts/s for the
-//!    main schemes on fixed seeds.
+//!    main schemes on fixed seeds. The `search` records also carry each
+//!    scheme's *virtual* simulations/second; the summary's
+//!    `device_tree_speedup_vs_block_parallel` compares the device-resident
+//!    tree against block parallelism at the same grid and iteration
+//!    budget (gate: ≥ 1.5x, see `scripts/check_bench.py`).
 //! 4. **Tree operations** — select/expand/backprop ops/s on a prebuilt
 //!    ~50k-node tree, measured on the original array-of-structs layout
 //!    (`AosSearchTree`, retained as a baseline) and the SoA `SearchTree`,
@@ -120,16 +124,19 @@ where
 }
 
 /// Wall-clock of one full search, as iterations/s and playouts/s.
+/// Also returns the *virtual* simulations/second, so the summary can
+/// compare schemes in model time (the device-resident gate).
 fn bench_search(
     scheme: &str,
     budget: SearchBudget,
     searcher: &mut dyn Searcher<Reversi>,
     position: Reversi,
-) -> JsonObject {
+) -> (JsonObject, f64) {
     let start = Instant::now();
     let report = searcher.search(position, budget);
     let wall_ns = start.elapsed().as_nanos() as u64;
-    JsonObject::new()
+    let virtual_rate = report.sims_per_second();
+    let record = JsonObject::new()
         .str_field("record", "search")
         .str_field("scheme", scheme)
         .u64_field("iterations", report.iterations)
@@ -137,7 +144,8 @@ fn bench_search(
         .u64_field("wall_ns", wall_ns)
         .f64_field("iterations_per_sec", rate(report.iterations, wall_ns))
         .f64_field("playouts_per_sec", rate(report.simulations, wall_ns))
-        .f64_field("virtual_sims_per_sec", report.sims_per_second())
+        .f64_field("virtual_sims_per_sec", virtual_rate);
+    (record, virtual_rate)
 }
 
 const EXPLORATION_C: f64 = 1.4;
@@ -691,36 +699,60 @@ fn main() {
     let cfg = || MctsConfig::default().with_seed(args.seed);
     let device = Device::new(spec.clone()).with_host_threads(host_threads);
     let budget = SearchBudget::Iterations(search_iters);
-    records.push(bench_search(
-        "sequential",
-        SearchBudget::Iterations(search_iters * 100),
-        &mut SequentialSearcher::<Reversi>::new(cfg()),
-        position,
-    ));
-    records.push(bench_search(
-        "root_parallel",
-        SearchBudget::Iterations(search_iters * 8),
-        &mut RootParallelSearcher::<Reversi>::new(cfg(), 8).with_workers(host_threads),
-        position,
-    ));
-    records.push(bench_search(
-        "leaf_parallel",
-        budget,
-        &mut LeafParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch),
-        position,
-    ));
-    records.push(bench_search(
+    records.push(
+        bench_search(
+            "sequential",
+            SearchBudget::Iterations(search_iters * 100),
+            &mut SequentialSearcher::<Reversi>::new(cfg()),
+            position,
+        )
+        .0,
+    );
+    records.push(
+        bench_search(
+            "root_parallel",
+            SearchBudget::Iterations(search_iters * 8),
+            &mut RootParallelSearcher::<Reversi>::new(cfg(), 8).with_workers(host_threads),
+            position,
+        )
+        .0,
+    );
+    records.push(
+        bench_search(
+            "leaf_parallel",
+            budget,
+            &mut LeafParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch),
+            position,
+        )
+        .0,
+    );
+    let (rec, block_virtual_rate) = bench_search(
         "block_parallel",
         budget,
         &mut BlockParallelSearcher::<Reversi>::new(cfg(), device.clone(), launch),
         position,
-    ));
-    records.push(bench_search(
-        "hybrid",
+    );
+    records.push(rec);
+    // Same grid, same iteration budget: the device-resident tree must beat
+    // block parallelism by ≥ 1.5x in virtual simulations/second (the PR's
+    // acceptance gate, enforced by check_bench.py).
+    let (rec, device_tree_virtual_rate) = bench_search(
+        "device_tree",
         budget,
-        &mut HybridSearcher::<Reversi>::new(cfg(), device, launch),
+        &mut DeviceTreeSearcher::<Reversi>::new(cfg(), device.clone(), launch),
         position,
-    ));
+    );
+    records.push(rec);
+    records.push(
+        bench_search(
+            "hybrid",
+            budget,
+            &mut HybridSearcher::<Reversi>::new(cfg(), device, launch),
+            position,
+        )
+        .0,
+    );
+    let device_tree_speedup = device_tree_virtual_rate / block_virtual_rate;
 
     // Tree operations and host-phase loops, old layout vs SoA.
     let (tree_records, [sel_speedup, exp_speedup, bp_speedup]) =
@@ -782,7 +814,8 @@ fn main() {
         .f64_field("tree_ops_expand_speedup_vs_aos", exp_speedup)
         .f64_field("tree_ops_backprop_speedup_vs_aos", bp_speedup)
         .f64_field("bounded_steady_state_vs_unbounded", bounded_vs_unbounded)
-        .f64_field("bounded_steady_window_ratio", bounded_window_ratio);
+        .f64_field("bounded_steady_window_ratio", bounded_window_ratio)
+        .f64_field("device_tree_speedup_vs_block_parallel", device_tree_speedup);
     for &(scheme, speedup) in &host_phase_speedups {
         summary = summary.f64_field(&format!("host_phase_speedup_{scheme}"), speedup);
     }
@@ -800,6 +833,10 @@ fn main() {
     eprintln!(
         "bounded steady state at cap {bounded_cap}: \
          {bounded_vs_unbounded:.2}x vs unbounded"
+    );
+    eprintln!(
+        "device-resident tree: {device_tree_speedup:.2}x virtual sims/s \
+         vs block-parallel (same grid, same budget)"
     );
     for &(scheme, speedup) in &host_phase_speedups {
         eprintln!("host-phase speedup ({scheme}): {speedup:.2}x vs AoS");

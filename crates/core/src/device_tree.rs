@@ -1,0 +1,765 @@
+//! Device-resident tree search: whole MCTS iterations inside the kernel.
+//!
+//! The block-parallel scheme (Fig. 2c) keeps the trees on the host and
+//! round-trips every iteration through it: select/expand on the CPU, one
+//! launch of playouts, backprop on the CPU. That host round-trip is the
+//! Fig. 5 ceiling — the sequential part grows with the tree count, and
+//! every iteration pays a full launch + transfer wave. The device-resident
+//! scheme moves the trees into GPU global memory (DESIGN.md §13): a
+//! *persistent* kernel runs complete MCTS iterations per lane — UCB
+//! descent, expansion via the device allocator, playout, backprop — and
+//! the host's per-iteration work collapses to nothing. Upload is charged
+//! once per search (the root-state delta); readback once per launch (the
+//! root-child statistics); the `select`/`expand` telemetry phases are
+//! legitimately zero because the kernel phase absorbs the tree walk.
+//!
+//! Layout mirrors block parallelism: `launch.blocks` independent trees,
+//! one per block; each of a block's `threads_per_block` lanes runs one
+//! full iteration per round against the block's tree, in lane order, so
+//! one budget *iteration* (a round) performs `blocks × threads_per_block`
+//! simulations — the same budget unit as
+//! [`BlockParallelSearcher`](crate::block_parallel::BlockParallelSearcher). The
+//! canonical order (rounds outer, lanes inner, sequential tree semantics)
+//! makes the result a pure function of the seed: blocks fan out over the
+//! worker pool, but every block's work is internally sequential and all
+//! folding happens in block order, so reports are bit-identical for any
+//! `--host-threads` (the oracle test below replays the same order on the
+//! host reference path).
+//!
+//! Cost accounting lives in [`pmcts_gpu_sim::device_tree`]: warp
+//! divergence settles once over each lane's *summed* steps (a lane
+//! finishing a short playout immediately starts its next iteration), tree
+//! steps are priced at the cheaper in-kernel tree-walk constant, and the
+//! trees never leave the device between rounds or launches.
+//!
+//! Fault policy (matrix row `device_tree`): a slowdown stretches device
+//! time; an aborted block skips the launch (its tree receives nothing); a
+//! kernel hang costs the detection deadline and is retried once — a
+//! second hang abandons the device for the move and falls back to the
+//! host-driven block-parallel loop on the same resident trees.
+
+use crate::block_parallel::{backprop_outputs, report_from_trees, select_and_expand_all};
+use crate::config::{MctsConfig, SearchBudget};
+use crate::gpu::PlayoutKernel;
+use crate::searcher::{BudgetTracker, SearchReport, Searcher};
+use crate::telemetry::PhaseBreakdown;
+use crate::tree::SearchTree;
+use pmcts_games::{random_playout, Game, Player};
+use pmcts_gpu_sim::{
+    Device, DeviceAllocator, DeviceTreeSpec, GpuFault, LaunchConfig, TreeLaunchTrace, WorkerPool,
+};
+use pmcts_util::{Rng64, SimTime, Xoshiro256pp};
+
+/// Plies below an old root scanned when re-rooting resident trees
+/// (same rationale as `PersistentSearcher`: move + reply + one forced
+/// pass on each side).
+const REROOT_DEPTH: u32 = 4;
+
+/// Upper bound on rounds planned into a single persistent launch under a
+/// `VirtualTime` budget (keeps hang dry-runs and round cost distribution
+/// bounded; iteration budgets run in one launch regardless).
+const MAX_PLANNED_ROUNDS: u64 = 65_536;
+
+/// GPU searcher whose kernel owns the trees: one resident tree per block,
+/// complete MCTS iterations per lane, host phases collapsed to zero.
+#[derive(Clone, Debug)]
+pub struct DeviceTreeSearcher<G: Game> {
+    config: MctsConfig,
+    device: Device,
+    launch: LaunchConfig,
+    tree_spec: DeviceTreeSpec,
+    stream: u64,
+    /// Host RNG, used only by the hang-degradation fallback (expansion
+    /// picks + degraded CPU playouts), mirroring the block-parallel
+    /// stream so the fallback is the same machine.
+    rng: Xoshiro256pp,
+    epoch: u64,
+    /// Trees left on the device by the previous search (re-rooted on the
+    /// next one; `reset` drops them).
+    resident: Option<Vec<SearchTree<G>>>,
+}
+
+/// Per-block result of one persistent launch, folded in block order.
+#[derive(Clone, Debug, Default)]
+struct BlockRun {
+    /// Per-lane `(tree_steps, playout_steps)` summed over the rounds.
+    per_lane: Vec<(u64, u64)>,
+    /// Fresh node slots claimed, in allocation order.
+    fresh: Vec<u32>,
+    /// Expansions that recycled an evicted slot in place (bounded trees).
+    recycled: u64,
+    sims: u64,
+    expansions: u64,
+}
+
+impl<G: Game> DeviceTreeSearcher<G> {
+    /// Creates a device-resident tree searcher with `launch.blocks` trees
+    /// and `launch.threads_per_block` iterations per tree per round.
+    pub fn new(config: MctsConfig, device: Device, launch: LaunchConfig) -> Self {
+        Self::with_stream(config, device, launch, 0)
+    }
+
+    /// Like [`new`](Self::new) but on RNG sub-stream `stream`.
+    pub fn with_stream(
+        config: MctsConfig,
+        device: Device,
+        launch: LaunchConfig,
+        stream: u64,
+    ) -> Self {
+        launch.validate(device.spec());
+        let rng = Xoshiro256pp::derive(config.seed, 0xDE1C ^ stream);
+        DeviceTreeSearcher {
+            config,
+            device,
+            launch,
+            tree_spec: DeviceTreeSpec::c2050_resident(),
+            stream,
+            rng,
+            epoch: 0,
+            resident: None,
+        }
+    }
+
+    /// The launch geometry (blocks = resident trees).
+    pub fn launch_config(&self) -> LaunchConfig {
+        self.launch
+    }
+
+    /// Number of resident trees (= blocks).
+    pub fn trees(&self) -> u32 {
+        self.launch.blocks
+    }
+
+    /// Overrides the in-kernel cost constants (tests and ablations).
+    pub fn with_tree_spec(mut self, spec: DeviceTreeSpec) -> Self {
+        self.tree_spec = spec;
+        self
+    }
+
+    /// Drops the resident trees (e.g. when starting a new game).
+    pub fn reset(&mut self) {
+        self.resident = None;
+    }
+
+    fn next_stream_seed(&mut self) -> u64 {
+        self.epoch += 1;
+        stream_seed(self.config.seed, self.stream, self.epoch)
+    }
+
+    /// Re-roots the resident trees at `root` (falling back to cold trees
+    /// where the position is not found) and mirrors each into a fresh
+    /// device allocator adopting the compacted live prefix.
+    fn prepare(&mut self, root: G) -> (Vec<SearchTree<G>>, Vec<DeviceAllocator>) {
+        let blocks = self.launch.blocks as usize;
+        let trees: Vec<SearchTree<G>> = match self.resident.take() {
+            Some(old) if old.len() == blocks => old
+                .into_iter()
+                .map(|t| match t.find_state(&root, REROOT_DEPTH) {
+                    Some(id) => t.extract_subtree(id),
+                    None => SearchTree::for_config(root, &self.config),
+                })
+                .collect(),
+            _ => (0..blocks)
+                .map(|_| SearchTree::for_config(root, &self.config))
+                .collect(),
+        };
+        let allocs = trees
+            .iter()
+            .map(|t| {
+                DeviceAllocator::with_live_prefix(
+                    t.capacity().unwrap_or(u32::MAX),
+                    t.live_nodes() as u32,
+                )
+            })
+            .collect();
+        (trees, allocs)
+    }
+
+    /// Rounds to plan into the next persistent launch: everything that is
+    /// left for iteration budgets; a deadline-derived estimate (one round
+    /// short, so the final top-ups are single rounds and overshoot stays
+    /// bounded by one round's cost growth) for virtual-time budgets.
+    fn planned_rounds(budget: SearchBudget, tracker: &BudgetTracker, last_round: SimTime) -> u64 {
+        match budget {
+            SearchBudget::Iterations(n) => n.saturating_sub(tracker.iterations).max(1),
+            SearchBudget::VirtualTime(t) => {
+                if last_round == SimTime::ZERO {
+                    1
+                } else {
+                    let remaining =
+                        t.saturating_sub(tracker.elapsed).as_nanos() / last_round.as_nanos().max(1);
+                    remaining.saturating_sub(1).clamp(1, MAX_PLANNED_ROUNDS)
+                }
+            }
+        }
+    }
+}
+
+/// Per-launch stream seed: experiment seed × sub-stream × epoch (the same
+/// derivation every launching searcher uses).
+pub(crate) fn stream_seed(seed: u64, stream: u64, epoch: u64) -> u64 {
+    seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(epoch.wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+/// One complete in-kernel MCTS iteration for one lane: UCB descent,
+/// expansion (pick drawn from the lane RNG), playout from the frontier,
+/// backprop into the resident tree. Records the lane's step counts —
+/// `depth+1` node reads for the descent, one allocator claim, `depth+1`
+/// updates for the backprop walk — and the playout plies.
+///
+/// This is the canonical iteration both the searcher and the oracle
+/// reference replay; its order (and nothing else) defines the result.
+fn lane_iteration<G: Game>(
+    tree: &mut SearchTree<G>,
+    rng: &mut Xoshiro256pp,
+    exploration_c: f64,
+    run: &mut BlockRun,
+    lane: usize,
+) {
+    let sel = tree.select(exploration_c);
+    let sel_depth = tree.depth(sel) as u64;
+    let untried = tree.untried_len(sel);
+    let node = if untried > 0 {
+        let pick = rng.next_below(untried as u32);
+        let live_before = tree.live_nodes();
+        let id = tree.expand_with_pick(sel, pick);
+        if tree.live_nodes() > live_before {
+            run.fresh.push(id);
+        } else {
+            // Bounded tree at capacity: the expansion evicted an LRU leaf
+            // and reused its slot in place.
+            run.recycled += 1;
+        }
+        run.expansions += 1;
+        id
+    } else {
+        sel
+    };
+    let node_depth = tree.depth(node) as u64;
+    let playout = random_playout(*tree.state(node), rng);
+    tree.backprop(node, playout.reward_for(Player::P1), 1);
+    let cell = &mut run.per_lane[lane];
+    cell.0 += sel_depth + 1 + 1 + node_depth + 1;
+    cell.1 += (playout.plies as u64).max(1);
+    run.sims += 1;
+}
+
+/// Runs `rounds` rounds of the persistent kernel over every block's tree
+/// (blocks fan out over the pool; each block is internally sequential:
+/// rounds outer, lanes inner). Folds traces, allocator mirroring and
+/// counters in block order, prices the launch, and returns
+/// `(stats, simulations, expansions)`.
+#[allow(clippy::too_many_arguments)]
+fn run_rounds<G: Game>(
+    trees: &mut [SearchTree<G>],
+    allocs: &mut [DeviceAllocator],
+    pool: &WorkerPool,
+    launch: LaunchConfig,
+    tree_spec: &DeviceTreeSpec,
+    device: &Device,
+    rounds: u64,
+    seed: u64,
+    exploration_c: f64,
+    voided: Option<usize>,
+) -> (pmcts_gpu_sim::KernelStats, u64, u64) {
+    let tpb = launch.threads_per_block as usize;
+    let runs: Vec<BlockRun> = pool.map_indexed(trees, |b, tree| {
+        let mut run = BlockRun {
+            per_lane: vec![(0, 0); tpb],
+            ..BlockRun::default()
+        };
+        if Some(b) == voided {
+            return run;
+        }
+        // Lane RNGs derive exactly like the playout kernel's: one stream
+        // per global thread id, fresh per launch.
+        let mut rngs: Vec<Xoshiro256pp> = (0..tpb)
+            .map(|l| Xoshiro256pp::derive(seed, (b * tpb + l) as u64))
+            .collect();
+        for _ in 0..rounds {
+            for (l, rng) in rngs.iter_mut().enumerate() {
+                lane_iteration(tree, rng, exploration_c, &mut run, l);
+            }
+        }
+        run
+    });
+
+    let mut sims = 0u64;
+    let mut expansions = 0u64;
+    let mut lanes = Vec::with_capacity(runs.len());
+    for (b, run) in runs.into_iter().enumerate() {
+        for &slot in &run.fresh {
+            assert!(
+                allocs[b].claim(slot),
+                "device allocator rejected shadow-tree slot {slot}"
+            );
+        }
+        allocs[b].note_recycled(run.recycled);
+        debug_assert_eq!(
+            allocs[b].live() as usize,
+            trees[b].live_nodes(),
+            "device allocator drifted from the shadow tree"
+        );
+        sims += run.sims;
+        expansions += run.expansions;
+        lanes.push(run.per_lane);
+    }
+
+    let readback_bytes: u64 = trees
+        .iter()
+        .map(|t| t.children(t.root()).len() as u64)
+        .sum::<u64>()
+        * tree_spec.root_stat_bytes;
+    let trace = TreeLaunchTrace::from_lanes(launch.threads_per_block, lanes);
+    let stats = trace.finish(tree_spec, device.spec(), &launch, readback_bytes);
+    (stats, sims, expansions)
+}
+
+impl<G: Game> Searcher<G> for DeviceTreeSearcher<G> {
+    fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
+        let (mut trees, mut allocs) = self.prepare(root);
+        let mut tracker = BudgetTracker::new(budget);
+        let mut phases = PhaseBreakdown::new();
+        let mut simulations = 0u64;
+        let cpu = self.config.cpu_cost;
+        let spec = self.device.spec().clone();
+        let pool = std::sync::Arc::clone(self.device.worker_pool());
+        let exploration_c = self.config.exploration_c;
+        let plan = self.config.faults;
+        let tpb = self.launch.threads_per_block as usize;
+
+        if trees[0].is_terminal(trees[0].root()) {
+            let report = report_from_trees(&self.config, &trees, &tracker, 0, phases);
+            self.resident = Some(trees);
+            return report;
+        }
+
+        let mut uploaded = false;
+        let mut last_round_cost = SimTime::ZERO;
+        // Hang deadlines accrued before any round could complete; folded
+        // into the next charged iteration so the ledger stays exact.
+        let mut pending_fault_cost = SimTime::ZERO;
+        let mut hang_retried = false;
+        let mut host_fallback = false;
+
+        while tracker.may_continue() {
+            if host_fallback {
+                // Degraded mode: the device is abandoned for this move;
+                // drive the same resident trees with the host-side
+                // block-parallel round (select/expand on the CPU, one
+                // playout launch, backprop), including its own
+                // hang-retry / CPU-playout degradation.
+                let mut iter_cost = std::mem::take(&mut pending_fault_cost);
+                let (frontier, host_cost) = select_and_expand_all(
+                    &mut trees,
+                    &mut self.rng,
+                    exploration_c,
+                    &cpu,
+                    &pool,
+                    &mut phases,
+                );
+                iter_cost += host_cost;
+                let mut retried = false;
+                loop {
+                    let kernel = PlayoutKernel::new(
+                        frontier.iter().map(|&(_, s, _)| s).collect(),
+                        self.next_stream_seed(),
+                    );
+                    let fault = plan.gpu_fault(self.stream, self.epoch, self.launch.blocks);
+                    let upload = spec.transfer_time(kernel.upload_bytes());
+                    let result = self.device.launch_with_fault(&kernel, self.launch, fault);
+                    phases.upload += cpu.launch_prep + upload;
+                    iter_cost += cpu.launch_prep + upload;
+
+                    if result.fault == GpuFault::Hang {
+                        let deadline = plan.hang_deadline(result.stats.elapsed());
+                        phases.kernel += deadline;
+                        iter_cost += deadline;
+                        phases.faults.injected += 1;
+                        if !retried {
+                            retried = true;
+                            phases.faults.retried += 1;
+                            continue;
+                        }
+                        for (b, tree) in trees.iter_mut().enumerate() {
+                            let playout = random_playout(frontier[b].1, &mut self.rng);
+                            let cost = cpu.playout(playout.plies);
+                            phases.kernel += cost;
+                            iter_cost += cost;
+                            tree.backprop(frontier[b].0, playout.reward_for(Player::P1), 1);
+                            simulations += 1;
+                            phases.simulations += 1;
+                            phases.faults.degraded += 1;
+                        }
+                        break;
+                    }
+
+                    let voided = match result.fault {
+                        GpuFault::BlockAbort(bad) => {
+                            phases.faults.injected += 1;
+                            phases.faults.degraded += 1;
+                            Some(bad as usize)
+                        }
+                        fault => {
+                            if fault != GpuFault::None {
+                                phases.faults.injected += 1;
+                            }
+                            None
+                        }
+                    };
+                    simulations += backprop_outputs(
+                        &mut trees,
+                        &frontier,
+                        &result.outputs,
+                        tpb,
+                        voided,
+                        &pool,
+                        &mut phases,
+                    );
+                    phases.kernel += result.stats.launch_overhead + result.stats.device_time;
+                    phases.readback += result.stats.readback_time;
+                    iter_cost += result.stats.elapsed();
+                    phases.record_launch(&result.stats);
+                    break;
+                }
+                tracker.charge(iter_cost);
+                continue;
+            }
+
+            let rounds = Self::planned_rounds(budget, &tracker, last_round_cost);
+            let seed = self.next_stream_seed();
+            let fault = plan.gpu_fault(self.stream, self.epoch, self.launch.blocks);
+
+            if fault == GpuFault::Hang {
+                // The persistent launch produced nothing observable. Cost
+                // the detection deadline off the launch's nominal elapsed
+                // time (computed on clones; the resident trees are
+                // untouched), then retry once with a fresh epoch; a second
+                // hang abandons the device for this move.
+                let mut dry_trees = trees.clone();
+                let mut dry_allocs = allocs.clone();
+                let (stats, _, _) = run_rounds(
+                    &mut dry_trees,
+                    &mut dry_allocs,
+                    &pool,
+                    self.launch,
+                    &self.tree_spec,
+                    &self.device,
+                    rounds,
+                    seed,
+                    exploration_c,
+                    None,
+                );
+                let deadline = plan.hang_deadline(stats.elapsed());
+                phases.kernel += deadline;
+                pending_fault_cost += deadline;
+                phases.faults.injected += 1;
+                if !hang_retried {
+                    hang_retried = true;
+                    phases.faults.retried += 1;
+                } else {
+                    phases.faults.degraded += 1;
+                    host_fallback = true;
+                }
+                continue;
+            }
+            hang_retried = false;
+
+            let voided = match fault {
+                GpuFault::BlockAbort(bad) => {
+                    phases.faults.injected += 1;
+                    phases.faults.degraded += 1;
+                    Some(bad as usize % self.launch.blocks as usize)
+                }
+                _ => None,
+            };
+
+            let (mut stats, sims, expansions) = run_rounds(
+                &mut trees,
+                &mut allocs,
+                &pool,
+                self.launch,
+                &self.tree_spec,
+                &self.device,
+                rounds,
+                seed,
+                exploration_c,
+                voided,
+            );
+            if let GpuFault::Slowdown(factor) = fault {
+                stats.device_time = stats.device_time * factor.max(1) as u64;
+                phases.faults.injected += 1;
+            }
+
+            // Exact ledger: launch prep + (first launch only) the root
+            // state delta to the upload phase; overhead + device time to
+            // the kernel phase; root-stat readback to the readback phase.
+            let mut total = stats.elapsed() + cpu.launch_prep + pending_fault_cost;
+            pending_fault_cost = SimTime::ZERO;
+            phases.upload += cpu.launch_prep;
+            if !uploaded {
+                uploaded = true;
+                let delta = spec.transfer_time(G::device_state_bytes() as u64);
+                phases.upload += delta;
+                total += delta;
+            }
+            phases.kernel += stats.launch_overhead + stats.device_time;
+            phases.readback += stats.readback_time;
+            phases.record_launch(&stats);
+            phases.simulations += sims;
+            phases.expansions += expansions;
+            simulations += sims;
+
+            // Charge the tracker round by round: the integer split sums
+            // to the launch total exactly, so iterations count rounds and
+            // the phase ledger still equals elapsed to the nanosecond.
+            let total_ns = total.as_nanos();
+            for i in 0..rounds {
+                let share = total_ns * (i + 1) / rounds - total_ns * i / rounds;
+                tracker.charge(SimTime::from_nanos(share));
+            }
+            last_round_cost = SimTime::from_nanos((total_ns / rounds).max(1));
+        }
+
+        let report = report_from_trees(&self.config, &trees, &tracker, simulations, phases);
+        self.resident = Some(trees);
+        report
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "device-resident tree ({} blocks × {} threads)",
+            self.launch.blocks, self.launch.threads_per_block
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_parallel::BlockParallelSearcher;
+    use pmcts_games::{Reversi, TicTacToe};
+    use pmcts_gpu_sim::DeviceSpec;
+    use pmcts_util::FaultPlan;
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::tesla_c2050())
+    }
+
+    fn cfg(seed: u64) -> MctsConfig {
+        MctsConfig::default().with_seed(seed)
+    }
+
+    /// Checksummable tree image: per-node (visits, win-sum bits).
+    fn tree_image<G: Game>(tree: &SearchTree<G>) -> Vec<(u64, u64)> {
+        (0..tree.len() as u32)
+            .map(|id| (tree.visits(id), tree.wins(id).to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn oracle_matches_host_reference_path() {
+        // The searcher's result must be bit-identical to a plain host-side
+        // replay of the canonical order: cold trees, rounds outer, lanes
+        // inner, lane RNGs derived from the launch stream seed.
+        let seed = 7u64;
+        let launch = LaunchConfig::new(4, 32);
+        let rounds = 6u64;
+        let mut s = DeviceTreeSearcher::<Reversi>::new(cfg(seed), device(), launch);
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(rounds));
+        assert_eq!(r.iterations, rounds);
+        let searched = s.resident.as_ref().expect("trees stay resident");
+        assert_eq!(searched.len(), launch.blocks as usize);
+
+        let config = cfg(seed);
+        let launch_seed = stream_seed(seed, 0, 1);
+        let tpb = launch.threads_per_block as usize;
+        for (b, searched_tree) in searched.iter().enumerate() {
+            let mut reference = SearchTree::for_config(Reversi::initial(), &config);
+            let mut rngs: Vec<Xoshiro256pp> = (0..tpb)
+                .map(|l| Xoshiro256pp::derive(launch_seed, (b * tpb + l) as u64))
+                .collect();
+            let mut run = BlockRun {
+                per_lane: vec![(0, 0); tpb],
+                ..BlockRun::default()
+            };
+            for _ in 0..rounds {
+                for (l, rng) in rngs.iter_mut().enumerate() {
+                    lane_iteration(&mut reference, rng, config.exploration_c, &mut run, l);
+                }
+            }
+            assert_eq!(
+                tree_image(searched_tree),
+                tree_image(&reference),
+                "block {b} diverged from the host reference"
+            );
+        }
+    }
+
+    #[test]
+    fn simulations_count_grid_times_rounds_and_host_phases_are_zero() {
+        let mut s = DeviceTreeSearcher::<Reversi>::new(cfg(1), device(), LaunchConfig::new(4, 32));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(5));
+        assert_eq!(r.iterations, 5);
+        assert_eq!(r.simulations, 5 * 4 * 32);
+        // The kernel absorbs the tree walk: no host select/expand time...
+        assert_eq!(r.phases.select, SimTime::ZERO);
+        assert_eq!(r.phases.expand, SimTime::ZERO);
+        // ...yet the ledger still sums to elapsed exactly.
+        assert_eq!(r.phases.phase_sum(), r.elapsed);
+        assert_eq!(r.phases.kernel_launches, 1, "one persistent launch");
+        assert!(r.phases.kernel > SimTime::ZERO);
+        assert!(r.phases.readback > SimTime::ZERO);
+        assert!(r.phases.upload > SimTime::ZERO, "root delta + prep");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_stream() {
+        let run = |seed, stream| {
+            DeviceTreeSearcher::<Reversi>::with_stream(
+                cfg(seed),
+                device(),
+                LaunchConfig::new(4, 32),
+                stream,
+            )
+            .search(Reversi::initial(), SearchBudget::Iterations(4))
+        };
+        assert_eq!(run(3, 0), run(3, 0));
+        assert_ne!(run(3, 0).root_stats, run(3, 1).root_stats);
+        assert_ne!(run(3, 0).root_stats, run(4, 0).root_stats);
+    }
+
+    #[test]
+    fn resident_trees_carry_across_searches() {
+        let mut s = DeviceTreeSearcher::<Reversi>::new(cfg(2), device(), LaunchConfig::new(2, 32));
+        let r1 = s.search(Reversi::initial(), SearchBudget::Iterations(3));
+        let r2 = s.search(Reversi::initial(), SearchBudget::Iterations(3));
+        // Same position re-searched: every tree re-roots at its old root,
+        // so root visits accumulate across the two searches.
+        let total: u64 = r2.root_stats.iter().map(|st| st.visits).sum();
+        assert_eq!(total, r1.simulations + r2.simulations);
+        s.reset();
+        let r3 = s.search(Reversi::initial(), SearchBudget::Iterations(3));
+        let fresh: u64 = r3.root_stats.iter().map(|st| st.visits).sum();
+        assert_eq!(fresh, r3.simulations, "reset forgets the resident trees");
+    }
+
+    #[test]
+    fn bounded_trees_recycle_on_device() {
+        let config = cfg(5).with_tree_capacity(64);
+        let mut s = DeviceTreeSearcher::<Reversi>::new(config, device(), LaunchConfig::new(2, 32));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(8));
+        // 8 rounds × 32 lanes ≈ 256 expansions per tree against cap 64.
+        assert!(r.tree_nodes <= 2 * 64, "capacity respected");
+        let trees = s.resident.as_ref().unwrap();
+        assert!(trees.iter().all(|t| t.evictions() > 0));
+        assert_eq!(r.phases.phase_sum(), r.elapsed);
+    }
+
+    #[test]
+    fn virtual_speedup_over_block_parallel_is_at_least_1_5x() {
+        // The acceptance gate, asserted at the throughput bench geometry:
+        // same budget, same grid, ≥1.5× virtual simulations/second.
+        let launch = LaunchConfig::new(14, 64);
+        let budget = SearchBudget::Iterations(8);
+        let block = BlockParallelSearcher::<Reversi>::new(cfg(9), device(), launch)
+            .search(Reversi::initial(), budget);
+        let resident = DeviceTreeSearcher::<Reversi>::new(cfg(9), device(), launch)
+            .search(Reversi::initial(), budget);
+        assert_eq!(block.simulations, resident.simulations);
+        let ratio = resident.sims_per_second() / block.sims_per_second();
+        assert!(
+            ratio >= 1.5,
+            "device-resident speedup {ratio:.2}× below the 1.5× gate"
+        );
+    }
+
+    #[test]
+    fn virtual_time_budget_stops_near_deadline() {
+        let budget = SimTime::from_millis(20);
+        let mut s = DeviceTreeSearcher::<Reversi>::new(cfg(6), device(), LaunchConfig::new(4, 32));
+        let r = s.search(Reversi::initial(), SearchBudget::VirtualTime(budget));
+        assert!(r.iterations > 1, "multiple rounds fit in 20 ms");
+        assert_eq!(r.phases.phase_sum(), r.elapsed);
+        // Overshoot is bounded by one round's cost growth (the planner
+        // undershoots, then tops up with single-round launches).
+        let per_round = r.elapsed.as_nanos() / r.iterations;
+        assert!(
+            r.phases.budget_overshoot.as_nanos() <= per_round,
+            "overshoot {} > one round {}",
+            r.phases.budget_overshoot.as_nanos(),
+            per_round
+        );
+    }
+
+    #[test]
+    fn terminal_root_is_handled() {
+        let s = TicTacToe::parse("XXX OO. ...", Player::P2).unwrap();
+        let mut searcher =
+            DeviceTreeSearcher::<TicTacToe>::new(cfg(6), device(), LaunchConfig::new(2, 32));
+        let r = searcher.search(s, SearchBudget::Iterations(5));
+        assert_eq!(r.best_move, None);
+        assert_eq!(r.simulations, 0);
+        assert_eq!(r.elapsed, SimTime::ZERO);
+    }
+
+    #[test]
+    fn finds_tactical_move() {
+        let s = TicTacToe::parse("XX. OO. ...", pmcts_games::Player::P1).unwrap();
+        let mut searcher =
+            DeviceTreeSearcher::<TicTacToe>::new(cfg(5), device(), LaunchConfig::new(4, 32));
+        let r = searcher.search(s, SearchBudget::Iterations(10));
+        assert_eq!(r.best_move, Some(2));
+    }
+
+    #[test]
+    fn hang_retries_once_then_falls_back_to_host() {
+        // Hang on (nearly) every launch: the first hang retries, the
+        // second degrades to the host block-parallel loop, which then
+        // degrades its own playout launches to CPU playouts. The search
+        // still returns a move and keeps an exact ledger.
+        let config = cfg(8).with_faults(FaultPlan::gpu_hang(77, 1.0));
+        let mut s = DeviceTreeSearcher::<Reversi>::new(config, device(), LaunchConfig::new(2, 32));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(3));
+        assert!(r.best_move.is_some());
+        assert!(r.phases.faults.injected >= 2);
+        // One device retry, plus one retry per fallback playout launch
+        // (the fallback's own launches also hang at rate 1.0).
+        assert!(r.phases.faults.retried >= 1, "device retry happens");
+        assert!(r.phases.faults.degraded > 0);
+        assert!(r.simulations > 0, "degraded iterations still simulate");
+        assert_eq!(r.phases.phase_sum(), r.elapsed);
+    }
+
+    #[test]
+    fn slowdown_stretches_device_time_only() {
+        let faulty = cfg(4).with_faults(FaultPlan::gpu_slowdown(55, 1.0, 3));
+        let clean = cfg(4);
+        let launch = LaunchConfig::new(2, 32);
+        let run = |c: MctsConfig| {
+            DeviceTreeSearcher::<Reversi>::new(c, device(), launch)
+                .search(Reversi::initial(), SearchBudget::Iterations(4))
+        };
+        let f = run(faulty);
+        let c = run(clean);
+        assert_eq!(f.root_stats, c.root_stats, "results unchanged, only time");
+        assert!(f.elapsed > c.elapsed);
+        assert!(f.phases.faults.injected > 0);
+        assert_eq!(f.phases.phase_sum(), f.elapsed);
+    }
+
+    #[test]
+    fn block_abort_skips_that_tree_for_the_launch() {
+        let config = cfg(3).with_faults(FaultPlan::gpu_abort(66, 1.0));
+        let mut s = DeviceTreeSearcher::<Reversi>::new(config, device(), LaunchConfig::new(4, 32));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(3));
+        assert!(r.phases.faults.degraded > 0);
+        assert!(
+            r.simulations < 3 * 4 * 32,
+            "aborted blocks simulate nothing"
+        );
+        assert!(r.best_move.is_some(), "surviving trees still vote");
+        assert_eq!(r.phases.phase_sum(), r.elapsed);
+    }
+}

@@ -16,6 +16,10 @@
 //!   each block's threads acting as a leaf-parallel batch for its tree
 //!   (paper Fig. 2c). Combines root parallelism's diversity with leaf
 //!   parallelism's SIMD-friendly batches — no intra-GPU communication.
+//! * [`device_tree`] — block parallelism with the trees resident in device
+//!   memory (DESIGN.md §13): a persistent kernel runs *complete* MCTS
+//!   iterations per lane, the host phases collapse to zero, and only
+//!   root-child statistics are read back per launch.
 //! * [`tree_parallel`] — shared-tree CPU parallelism with virtual loss
 //!   (ref \[3\]); included as the scheme the paper notes does *not* map onto
 //!   SIMD hardware.
@@ -50,6 +54,7 @@ pub mod arena;
 pub mod block_parallel;
 pub mod config;
 pub mod cost;
+pub mod device_tree;
 pub mod gpu;
 pub mod hybrid;
 pub mod leaf_parallel;
@@ -74,6 +79,7 @@ pub mod prelude {
     pub use crate::block_parallel::BlockParallelSearcher;
     pub use crate::config::{MctsConfig, SearchBudget};
     pub use crate::cost::CpuCostModel;
+    pub use crate::device_tree::DeviceTreeSearcher;
     pub use crate::hybrid::HybridSearcher;
     pub use crate::leaf_parallel::LeafParallelSearcher;
     pub use crate::multi_gpu::MultiGpuSearcher;

@@ -31,6 +31,14 @@
 //! critical-path component — the slowest tree/worker/rank, first index on
 //! ties — so the sum identity still holds; the *counters* are summed over
 //! every component.
+//!
+//! A phase may be legitimately **zero** and is never dropped from the sum:
+//! the device-resident scheme ([`device_tree`](crate::device_tree)) runs
+//! selection, expansion and backpropagation *inside* the kernel, so its
+//! `select`/`expand` phases are exactly `SimTime::ZERO` while the `kernel`
+//! phase absorbs the tree walk — and `phase_sum()` still equals `elapsed`
+//! to the nanosecond. Consumers must not treat a zero phase as "missing":
+//! the identity is over all seven phases, zeros included.
 
 use pmcts_gpu_sim::KernelStats;
 use pmcts_util::{FaultCounters, FaultPlan, SimTime};
@@ -111,7 +119,10 @@ impl PhaseBreakdown {
     }
 
     /// Sum of the seven exclusive phase times; equals the report's
-    /// `elapsed` exactly for every searcher in this crate.
+    /// `elapsed` exactly for every searcher in this crate. Zero phases
+    /// participate like any other — a scheme that does no host
+    /// select/expand work (the device-resident tree) still satisfies the
+    /// identity with those terms at zero.
     pub fn phase_sum(&self) -> SimTime {
         self.select
             + self.expand
@@ -268,6 +279,25 @@ mod tests {
         };
         assert_eq!(b.phase_sum(), SimTime::from_nanos(127));
         assert_eq!(b.host_time(), SimTime::from_nanos(1 + 2 + 16 + 32));
+    }
+
+    #[test]
+    fn zero_host_phase_ledger_still_sums_exactly() {
+        // The device-resident scheme's shape: select/expand/queue/merge
+        // all zero, everything in upload + kernel + readback. The sum
+        // identity must hold with the zero terms included, not by
+        // skipping them.
+        let b = PhaseBreakdown {
+            upload: SimTime::from_nanos(10),
+            kernel: SimTime::from_nanos(1_000),
+            readback: SimTime::from_nanos(7),
+            ..PhaseBreakdown::default()
+        };
+        assert_eq!(b.select, SimTime::ZERO);
+        assert_eq!(b.expand, SimTime::ZERO);
+        assert_eq!(b.phase_sum(), SimTime::from_nanos(1_017));
+        assert_eq!(b.host_time(), SimTime::from_nanos(7), "readback only");
+        assert!((b.kernel_share() - 1_000.0 / 1_017.0).abs() < 1e-12);
     }
 
     #[test]

@@ -220,7 +220,7 @@ impl<G: Game> SearchTree<G> {
     /// The node arrays are preallocated at `max_nodes` slots and never
     /// grow past them: once the arena is full, every expansion first
     /// recycles the least-recently-used unpinned leaf (see
-    /// [`Self::evict_lru_leaf`] for the eviction rule and the determinism
+    /// `Self::evict_lru_leaf` for the eviction rule and the determinism
     /// argument). Evicted statistics are parked in a Zobrist-keyed
     /// transposition table and recovered if the position is expanded
     /// again.

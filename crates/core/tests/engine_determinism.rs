@@ -125,6 +125,46 @@ fn block_parallel_identical_across_host_threads() {
 }
 
 #[test]
+fn device_tree_identical_across_host_threads() {
+    assert_reports_identical("device-tree", SearchBudget::Iterations(5), |t| {
+        Box::new(DeviceTreeSearcher::new(
+            cfg(51),
+            device(t),
+            LaunchConfig::new(4, 32),
+        ))
+    });
+}
+
+#[test]
+fn device_tree_identical_across_host_threads_under_time_budget() {
+    // The multi-round launch planner must not see thread count either.
+    assert_reports_identical(
+        "device-tree (time)",
+        SearchBudget::VirtualTime(SimTime::from_millis(10)),
+        |t| {
+            Box::new(DeviceTreeSearcher::new(
+                cfg(52),
+                device(t),
+                LaunchConfig::new(4, 32),
+            ))
+        },
+    );
+}
+
+#[test]
+fn bounded_device_tree_identical_across_host_threads() {
+    // Device-side LRU recycling replays the same touch order per block,
+    // so capacity-capped resident trees keep the guarantee too.
+    assert_reports_identical("bounded device-tree", SearchBudget::Iterations(8), |t| {
+        Box::new(DeviceTreeSearcher::new(
+            cfg(53).with_tree_capacity(64),
+            device(t),
+            LaunchConfig::new(4, 32),
+        ))
+    });
+}
+
+#[test]
 fn hybrid_identical_across_host_threads() {
     assert_reports_identical("hybrid", SearchBudget::Iterations(5), |t| {
         Box::new(HybridSearcher::new(
@@ -243,6 +283,19 @@ fn block_parallel_with_faults_identical_across_host_threads() {
     assert_reports_identical("block+faults", SearchBudget::Iterations(8), |t| {
         Box::new(BlockParallelSearcher::new(
             cfg(32).with_faults(mixed_plan(42)),
+            device(t),
+            LaunchConfig::new(4, 32),
+        ))
+    });
+}
+
+#[test]
+fn device_tree_with_faults_identical_across_host_threads() {
+    // Exercises the whole degradation ladder (slowdown, block abort, hang
+    // dry-run, retry, host block-parallel fallback) under one mixed plan.
+    assert_reports_identical("device-tree+faults", SearchBudget::Iterations(8), |t| {
+        Box::new(DeviceTreeSearcher::new(
+            cfg(54).with_faults(mixed_plan(48)),
             device(t),
             LaunchConfig::new(4, 32),
         ))

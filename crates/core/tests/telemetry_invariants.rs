@@ -44,6 +44,14 @@ fn all_schemes(seed: u64) -> Vec<(&'static str, BoxedSearcher)> {
             )),
         ),
         (
+            "device_tree",
+            Box::new(DeviceTreeSearcher::<Reversi>::new(
+                cfg.clone(),
+                device(),
+                LaunchConfig::new(4, 32),
+            )),
+        ),
+        (
             "hybrid",
             Box::new(HybridSearcher::<Reversi>::new(
                 cfg.clone(),

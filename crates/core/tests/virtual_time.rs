@@ -130,6 +130,10 @@ fn budget_overshoot_is_bounded_for_every_scheme() {
             HybridSearcher::<Reversi>::new(cfg(), device(), launch).search(root, budget),
         ),
         (
+            "device_tree".into(),
+            DeviceTreeSearcher::<Reversi>::new(cfg(), device(), launch).search(root, budget),
+        ),
+        (
             "root".into(),
             RootParallelSearcher::<Reversi>::new(cfg(), 4).search(root, budget),
         ),

@@ -41,6 +41,7 @@
 
 pub mod batch;
 pub mod device;
+pub mod device_tree;
 pub mod executor;
 pub mod kernel;
 pub mod launch;
@@ -49,6 +50,7 @@ pub mod stats;
 
 pub use batch::{BatchSegment, BatchedResult};
 pub use device::{Device, DeviceSpec};
+pub use device_tree::{DeviceAllocator, DeviceTreeSpec, TreeLaunchTrace};
 pub use kernel::{Kernel, LaunchConfig, ThreadId};
 pub use launch::{LaunchResult, PendingLaunch};
 pub use pool::WorkerPool;

@@ -11,9 +11,11 @@ Usage:
                                  LRU recycling records (live nodes <= cap,
                                  eviction + transposition traffic, equal
                                  rerun checksums, steady state >= 1.0x vs
-                                 unbounded), host_phases pairs, and — with
-                                 --baseline — a no-regression gate on the
-                                 sequential search record's
+                                 unbounded), device-resident tree gate
+                                 (>= 1.5x virtual sims/s vs block_parallel
+                                 on the same budget), host_phases pairs,
+                                 and — with --baseline — a no-regression
+                                 gate on the sequential search record's
                                  playouts_per_sec
           fault_matrix.json      every cell degraded gracefully
           serve.json             multi-session serving: per-move phase
@@ -60,6 +62,11 @@ FAULT_FIELDS = [
 ]
 WALL_FIELDS = ["wall_ns", "playouts_per_sec"]
 MIN_ENGINE_SPEEDUP = 1.5
+# The device-resident tree must beat host-driven block parallelism in
+# *virtual* simulations/second at the same grid and iteration budget
+# (committed artifact shows ~2x; 1.5 is the acceptance line). Virtual
+# rates come from the cost models, so this gate is machine-independent.
+MIN_DEVICE_TREE_SPEEDUP = 1.5
 # The SoA layout must beat the AoS baseline on the cold-cache selection
 # sweep by a clear margin (committed artifact shows ~1.8x; the gate leaves
 # headroom for noisy CI runners).
@@ -260,6 +267,38 @@ def check_host_phases(path, data, summary):
     return sorted(pairs)
 
 
+def check_device_tree(path, data, summary):
+    """The device-resident tree's acceptance gate: its search record exists
+    alongside block_parallel's, both carry virtual_sims_per_sec, and the
+    summary ratio clears the speedup floor."""
+    searches = {
+        r.get("scheme"): r
+        for r in data
+        if r.get("record") == "search"
+    }
+    for scheme in ("block_parallel", "device_tree"):
+        if scheme not in searches:
+            fail(f"{path}: missing search record for scheme {scheme!r}")
+        if "virtual_sims_per_sec" not in searches[scheme]:
+            fail(f"{path}: search[{scheme}]: missing virtual_sims_per_sec")
+    if searches["device_tree"]["simulations"] != searches["block_parallel"]["simulations"]:
+        fail(
+            f"{path}: device_tree ran {searches['device_tree']['simulations']}"
+            f" simulations vs block_parallel's"
+            f" {searches['block_parallel']['simulations']}"
+            " (the speedup must be measured on the same budget)"
+        )
+    speedup = summary.get("device_tree_speedup_vs_block_parallel")
+    if speedup is None:
+        fail(f"{path}: summary lacks device_tree_speedup_vs_block_parallel")
+    if speedup < MIN_DEVICE_TREE_SPEEDUP:
+        fail(
+            f"{path}: device-resident tree only {speedup:.2f}x vs"
+            f" block_parallel (gate: >= {MIN_DEVICE_TREE_SPEEDUP}x)"
+        )
+    return speedup
+
+
 def check_seq_regression(path, data, baseline_path, tolerance):
     """New sequential search throughput must stay within `tolerance` of the
     committed baseline artifact's."""
@@ -302,11 +341,13 @@ def check_throughput(path, baseline=None, tolerance=DEFAULT_BASELINE_TOLERANCE):
         )
     sel = check_tree_ops(path, data, summary)
     steady = check_bounded_tree_ops(path, data, summary)
+    resident = check_device_tree(path, data, summary)
     schemes = check_host_phases(path, data, summary)
     msg = (
         f"check_bench: OK: {path}: engine {speedup:.2f}x vs lockstep,"
         f" SoA select {sel:.2f}x vs AoS,"
         f" bounded steady {steady:.2f}x vs unbounded,"
+        f" device tree {resident:.2f}x vs block_parallel,"
         f" host_phases {', '.join(schemes)}"
     )
     if baseline is not None:
