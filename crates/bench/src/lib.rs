@@ -27,6 +27,12 @@ pub struct BenchArgs {
     /// results are host-thread independent; the CI determinism gate runs
     /// the same experiment at different counts and diffs the output.
     pub host_threads: usize,
+    /// Fleet geometry: sessions to offer (0 = binary default; `serve`
+    /// only).
+    pub sessions: u64,
+    /// Fleet geometry: simulated devices / service shards (0 = binary
+    /// default; `serve` only).
+    pub devices: u64,
     /// Optional output directory for TSV files.
     pub out_dir: Option<String>,
 }
@@ -39,6 +45,8 @@ impl Default for BenchArgs {
             games: 0,
             move_ms: 0,
             host_threads: 0,
+            sessions: 0,
+            devices: 0,
             out_dir: None,
         }
     }
@@ -59,6 +67,8 @@ impl BenchArgs {
                 "--host-threads" => {
                     args.host_threads = expect_num(&mut it, "--host-threads") as usize
                 }
+                "--sessions" => args.sessions = expect_num(&mut it, "--sessions"),
+                "--devices" => args.devices = expect_num(&mut it, "--devices"),
                 "--out" => {
                     args.out_dir = Some(it.next().unwrap_or_else(|| usage("--out needs a path")))
                 }
@@ -99,6 +109,28 @@ impl BenchArgs {
             default
         }
     }
+
+    /// Fleet sessions to offer, honouring the override.
+    pub fn sessions_or(&self, default_quick: u64, default_full: u64) -> u64 {
+        if self.sessions > 0 {
+            self.sessions
+        } else if self.full {
+            default_full
+        } else {
+            default_quick
+        }
+    }
+
+    /// Fleet devices (service shards), honouring the override.
+    pub fn devices_or(&self, default_quick: u64, default_full: u64) -> u64 {
+        if self.devices > 0 {
+            self.devices
+        } else if self.full {
+            default_full
+        } else {
+            default_quick
+        }
+    }
 }
 
 fn expect_num(it: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
@@ -109,7 +141,7 @@ fn expect_num(it: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "{msg}\n\nflags:\n  --quick          CI-sized sweep (default)\n  --full           paper-sized sweep\n  --seed N         base RNG seed\n  --games N        games per configuration\n  --move-ms N      per-move virtual budget in milliseconds\n  --host-threads N real host worker threads (results are unaffected)\n  --out DIR        also write output files (TSV/JSON) to DIR"
+        "{msg}\n\nflags:\n  --quick          CI-sized sweep (default)\n  --full           paper-sized sweep\n  --seed N         base RNG seed\n  --games N        games per configuration\n  --move-ms N      per-move virtual budget in milliseconds\n  --host-threads N real host worker threads (results are unaffected)\n  --sessions N     fleet sessions to offer (serve only)\n  --devices N      fleet devices / service shards (serve only)\n  --out DIR        also write output files (TSV/JSON) to DIR"
     );
     std::process::exit(2)
 }
@@ -167,6 +199,15 @@ impl JsonObject {
     pub fn f64_field(mut self, key: &str, value: f64) -> Self {
         let v = if value.is_finite() { value } else { 0.0 };
         self.fields.push((key.to_string(), format!("{v}")));
+        self
+    }
+
+    /// Adds a nested array-of-objects field (e.g. per-shard records inside
+    /// a fleet summary).
+    pub fn obj_array_field(mut self, key: &str, values: &[JsonObject]) -> Self {
+        let body: Vec<String> = values.iter().map(|o| o.render()).collect();
+        self.fields
+            .push((key.to_string(), format!("[{}]", body.join(", "))));
         self
     }
 

@@ -55,6 +55,7 @@ pub mod block_parallel;
 pub mod config;
 pub mod cost;
 pub mod device_tree;
+pub mod fleet;
 pub mod gpu;
 pub mod hybrid;
 pub mod leaf_parallel;
@@ -80,6 +81,10 @@ pub mod prelude {
     pub use crate::config::{MctsConfig, SearchBudget};
     pub use crate::cost::CpuCostModel;
     pub use crate::device_tree::DeviceTreeSearcher;
+    pub use crate::fleet::{
+        Admission, Fleet, FleetCompleted, FleetConfig, FleetSessionId, FleetStats, Priority,
+        ShardSnapshot,
+    };
     pub use crate::hybrid::HybridSearcher;
     pub use crate::leaf_parallel::LeafParallelSearcher;
     pub use crate::multi_gpu::MultiGpuSearcher;
@@ -95,5 +100,6 @@ pub mod prelude {
     pub use crate::tree_parallel::TreeParallelSearcher;
     pub use pmcts_games::{Connect4, Game, Hex7, Outcome, Player, Reversi, TicTacToe};
     pub use pmcts_gpu_sim::{Device, DeviceSpec, LaunchConfig};
+    pub use pmcts_mpi_sim::Rank;
     pub use pmcts_util::{FaultCounters, FaultPlan, GpuFault, SimTime};
 }

@@ -130,6 +130,14 @@ impl BudgetTracker {
         self.last_cost = cost;
     }
 
+    /// Records time spent *waiting* (a service round the session sat out).
+    /// Waiting consumes a `VirtualTime` budget — the deadline is a latency
+    /// SLO, and latency accrues whether or not the session ran — but it is
+    /// not an iteration and does not update the cost predictor.
+    pub(crate) fn charge_wait(&mut self, cost: SimTime) {
+        self.elapsed += cost;
+    }
+
     /// Virtual time spent beyond a `VirtualTime` budget. Zero for iteration
     /// budgets and for searches that stopped at or short of the deadline;
     /// positive only when the final iteration cost more than the predictor,

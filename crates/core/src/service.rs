@@ -29,18 +29,36 @@
 //! deadline with the predictive tracker, so a session never overshoots its
 //! deadline by more than one round.
 //!
+//! # Wave packing and latency SLOs
+//!
+//! [`SearchService::step`] packs *every* active session into the round.
+//! [`SearchService::step_wave`] bounds the round to a **wave** of at most
+//! `limit` sessions, picked **deadline-aware** (earliest SLO deadline
+//! first, ties and deadline-free sessions in session-id order) instead of
+//! pure session-id order — the scheduler the fleet layer
+//! ([`crate::fleet`]) runs per shard. Sessions left out of a wave still
+//! observe the round: the whole round latency is charged to their `queue`
+//! phase and their budget tracker (a latency SLO accrues while waiting),
+//! so `completed_at − admitted_at == elapsed` and the exact phase-ledger
+//! identity hold for every session whether or not it ran. A session can
+//! therefore exhaust its budget *without ever launching* — that is the
+//! overload signal the fleet's goodput accounting counts.
+//!
 //! # Determinism
 //!
-//! Rounds process sessions in **session-id order** (ids are assigned at
-//! admission from a monotone counter), never in arrival or completion
-//! order; host phases fan out over the device's
+//! Rounds process sessions in **deterministic order**: the retire pass and
+//! launch packing run in session-id order (ids are assigned at admission
+//! from a monotone counter), wave packing in (deadline, session-id) order
+//! — both pure functions of admitted state, never of arrival or
+//! completion timing; host phases fan out over the device's
 //! [`WorkerPool`] with index-keyed folding; and
 //! per-lane RNG streams derive from the service seed, the launch epoch and
 //! the lane's position in the merged grid. The same seed and the same
 //! admission sequence therefore produce byte-identical results for any
 //! `--host-threads` count. Fault injection is not applied on the service
 //! path (sessions model a trusted shared device; the fault matrix covers
-//! the standalone engines).
+//! the standalone engines — the fleet layer injects *shard death* above
+//! the service).
 //!
 //! Per-session reports carry the full time-phase ledger
 //! (`phase_sum() == elapsed`, now including `queue`) and launch counts;
@@ -121,6 +139,11 @@ pub trait SessionEngine<G: Game>: Send {
     /// the round's latency attribution; backpropagates and charges the
     /// session's budget tracker.
     fn complete_round(&mut self, lanes: &[LaneOutcome], latency: &RoundLatency);
+    /// Charges a round the session sat out (wave packing left it behind):
+    /// the whole round lands on the `queue` phase and on the budget
+    /// tracker, so waiting consumes a latency SLO without counting as an
+    /// iteration.
+    fn charge_wait(&mut self, wait: SimTime);
     /// Builds the session's final report.
     fn finish(&mut self) -> SearchReport<G::Move>;
 }
@@ -174,6 +197,11 @@ impl<G: Game> SessionEngine<G> for SequentialSession<G> {
         self.phases.readback += latency.readback;
         self.phases.kernel_launches += 1;
         self.tracker.charge(host_cost + latency.total());
+    }
+
+    fn charge_wait(&mut self, wait: SimTime) {
+        self.phases.queue += wait;
+        self.tracker.charge_wait(wait);
     }
 
     fn finish(&mut self) -> SearchReport<G::Move> {
@@ -256,6 +284,11 @@ impl<G: Game> SessionEngine<G> for BlockSession<G> {
         self.tracker.charge(host_cost + latency.total());
     }
 
+    fn charge_wait(&mut self, wait: SimTime) {
+        self.phases.queue += wait;
+        self.tracker.charge_wait(wait);
+    }
+
     fn finish(&mut self) -> SearchReport<G::Move> {
         report_from_trees(
             &self.config,
@@ -296,6 +329,9 @@ pub struct LaunchRecord {
 struct Session<G: Game> {
     id: SessionId,
     admitted_at: SimTime,
+    /// Absolute SLO deadline on the service clock (`admitted_at + slo`).
+    /// `None` sorts after every deadline in wave packing.
+    deadline: Option<SimTime>,
     engine: Box<dyn SessionEngine<G>>,
 }
 
@@ -341,6 +377,19 @@ impl<G: Game> SearchService<G> {
         budget: SearchBudget,
         config: MctsConfig,
     ) -> SessionId {
+        self.admit_sequential_with_slo(root, budget, config, None)
+    }
+
+    /// [`Self::admit_sequential`] with a latency SLO: wave packing
+    /// ([`Self::step_wave`]) schedules the session by the absolute deadline
+    /// `clock + slo`, ahead of every deadline-free session.
+    pub fn admit_sequential_with_slo(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+        config: MctsConfig,
+        slo: Option<SimTime>,
+    ) -> SessionId {
         let engine = SequentialSession {
             tree: SearchTree::for_config(root, &config),
             inner: SequentialSearcher::new(config),
@@ -349,7 +398,7 @@ impl<G: Game> SearchService<G> {
             simulations: 0,
             pending: None,
         };
-        self.admit(Box::new(engine))
+        self.admit(Box::new(engine), slo)
     }
 
     /// Admits a block-tree session (`blocks` trees, one block each per
@@ -360,6 +409,19 @@ impl<G: Game> SearchService<G> {
         budget: SearchBudget,
         config: MctsConfig,
         blocks: u32,
+    ) -> SessionId {
+        self.admit_block_with_slo(root, budget, config, blocks, None)
+    }
+
+    /// [`Self::admit_block`] with a latency SLO (see
+    /// [`Self::admit_sequential_with_slo`]).
+    pub fn admit_block_with_slo(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+        config: MctsConfig,
+        blocks: u32,
+        slo: Option<SimTime>,
     ) -> SessionId {
         assert!(blocks >= 1, "block session needs ≥ 1 tree");
         let rng = Xoshiro256pp::derive(config.seed, 0xB10C);
@@ -376,15 +438,16 @@ impl<G: Game> SearchService<G> {
             threads_per_block: self.threads_per_block as usize,
             pending: None,
         };
-        self.admit(Box::new(engine))
+        self.admit(Box::new(engine), slo)
     }
 
-    fn admit(&mut self, engine: Box<dyn SessionEngine<G>>) -> SessionId {
+    fn admit(&mut self, engine: Box<dyn SessionEngine<G>>, slo: Option<SimTime>) -> SessionId {
         let id = SessionId(self.next_id);
         self.next_id += 1;
         self.active.push(Session {
             id,
             admitted_at: self.clock,
+            deadline: slo.map(|s| self.clock + s),
             engine,
         });
         id
@@ -394,52 +457,114 @@ impl<G: Game> SearchService<G> {
     /// remaining session's [`PlayoutRequest`] in session-id order, packs
     /// them into one kernel launch, and completes each session with its
     /// output slice and latency share. Returns `false` when no launch ran
-    /// (no session had work left).
+    /// (no session had work left). Equivalent to
+    /// [`Self::step_wave`]`(usize::MAX)`.
     pub fn step(&mut self) -> bool {
-        // Retire-or-begin pass, in session-id order (admission order — ids
-        // are monotone and `active` is never reordered).
+        self.step_wave(usize::MAX)
+    }
+
+    /// Runs one batched round whose launch wave holds at most `limit`
+    /// sessions, picked deadline-aware: candidates are tried in
+    /// (deadline, session-id) order — earliest SLO first, deadline-free
+    /// sessions last — and a candidate with a terminal root retires and
+    /// frees its wave slot. Sessions left out of the wave are charged the
+    /// whole round as `queue` time (see the module docs), so every active
+    /// session's clock advances by the same round latency. Returns `false`
+    /// when no launch ran.
+    pub fn step_wave(&mut self, limit: usize) -> bool {
+        assert!(limit >= 1, "a wave admits at least one session");
         let clock = self.clock;
-        let mut requests: Vec<PlayoutRequest<G>> = Vec::new();
-        let mut still: Vec<Session<G>> = Vec::new();
+        // Retire pass, in session-id order (admission order — ids are
+        // monotone and `active` is never reordered): budget-exhausted
+        // sessions leave before wave packing, including sessions that
+        // spent their whole budget waiting.
+        let mut survivors: Vec<Session<G>> = Vec::new();
         for mut session in std::mem::take(&mut self.active) {
-            let request = if session.engine.wants_more() {
-                session.engine.begin_round()
+            if session.engine.wants_more() {
+                survivors.push(session);
             } else {
-                None
-            };
-            match request {
+                self.completed.push(CompletedSession {
+                    id: session.id,
+                    admitted_at: session.admitted_at,
+                    completed_at: clock,
+                    report: session.engine.finish(),
+                });
+            }
+        }
+
+        // Wave packing: earliest deadline first, ties (and the
+        // deadline-free) by session id — with `limit == usize::MAX` this
+        // degenerates to the legacy all-sessions id-order round.
+        let mut order: Vec<usize> = (0..survivors.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                survivors[i].deadline.unwrap_or(SimTime::MAX),
+                survivors[i].id,
+            )
+        });
+        enum Slot<G> {
+            Waiting,
+            Armed(PlayoutRequest<G>),
+            Retire,
+        }
+        let mut slots: Vec<Slot<G>> = survivors.iter().map(|_| Slot::Waiting).collect();
+        let mut packed = 0usize;
+        for &i in &order {
+            if packed == limit {
+                break;
+            }
+            match survivors[i].engine.begin_round() {
                 Some(r) => {
-                    requests.push(r);
-                    still.push(session);
+                    slots[i] = Slot::Armed(r);
+                    packed += 1;
                 }
-                None => self.completed.push(CompletedSession {
+                None => slots[i] = Slot::Retire,
+            }
+        }
+
+        // Re-assemble `active` in id order; terminal-root sessions retire.
+        let mut armed: Vec<(usize, PlayoutRequest<G>)> = Vec::new();
+        let mut waiting: Vec<usize> = Vec::new();
+        let mut still: Vec<Session<G>> = Vec::new();
+        for (mut session, slot) in survivors.into_iter().zip(slots) {
+            match slot {
+                Slot::Retire => self.completed.push(CompletedSession {
                     id: session.id,
                     admitted_at: session.admitted_at,
                     completed_at: clock,
                     report: session.engine.finish(),
                 }),
+                Slot::Armed(r) => {
+                    armed.push((still.len(), r));
+                    still.push(session);
+                }
+                Slot::Waiting => {
+                    waiting.push(still.len());
+                    still.push(session);
+                }
             }
         }
         self.active = still;
-        if requests.is_empty() {
+        if armed.is_empty() {
+            // Nothing to launch; the packing loop ran out of candidates,
+            // so nothing is waiting either.
+            debug_assert!(waiting.is_empty());
             return false;
         }
 
-        // One merged launch: session i's blocks are consecutive, in
+        // One merged launch: wave member i's blocks are consecutive, in
         // session-id order. The lane RNG streams derive from the service
         // seed, the launch epoch and the lane's global index.
-        let segments: Vec<BatchSegment> = self
-            .active
+        let segments: Vec<BatchSegment> = armed
             .iter()
-            .zip(&requests)
-            .map(|(s, r)| BatchSegment {
-                key: s.id.0,
+            .map(|(i, r)| BatchSegment {
+                key: self.active[*i].id.0,
                 blocks: r.positions.len() as u32,
             })
             .collect();
-        let roots: Vec<G> = requests
+        let roots: Vec<G> = armed
             .iter()
-            .flat_map(|r| r.positions.iter().copied())
+            .flat_map(|(_, r)| r.positions.iter().copied())
             .collect();
         self.epoch += 1;
         let stream_seed = self
@@ -452,31 +577,36 @@ impl<G: Game> SearchService<G> {
             .launch_batched(&kernel, self.threads_per_block, &segments);
         let stats = &batched.result.stats;
 
-        // Shared round components; each session's `queue` is everyone
+        // Shared round components; each wave member's `queue` is everyone
         // else's host work, so every participant sees the same round
-        // latency (see the module docs).
-        let total_host = requests
+        // latency (see the module docs) — and sessions the wave left
+        // behind are charged the whole round as queueing.
+        let total_host = armed
             .iter()
-            .fold(SimTime::ZERO, |acc, r| acc + r.host_cost);
+            .fold(SimTime::ZERO, |acc, (_, r)| acc + r.host_cost);
         let upload_phase = self.launch_prep + upload;
         let kernel_phase = stats.launch_overhead + stats.device_time;
-        for (i, session) in self.active.iter_mut().enumerate() {
+        let round_total = total_host + upload_phase + kernel_phase + stats.readback_time;
+        for (slot, (i, r)) in armed.iter().enumerate() {
             let latency = RoundLatency {
-                queue: total_host.saturating_sub(requests[i].host_cost),
+                queue: total_host.saturating_sub(r.host_cost),
                 upload: upload_phase,
                 kernel: kernel_phase,
                 readback: stats.readback_time,
             };
-            session
+            self.active[*i]
                 .engine
-                .complete_round(batched.outputs_for(i), &latency);
+                .complete_round(batched.outputs_for(slot), &latency);
+        }
+        for &i in &waiting {
+            self.active[i].engine.charge_wait(round_total);
         }
         self.launches.push(LaunchRecord {
             sessions: segments.len() as u32,
             blocks: segments.iter().map(|s| s.blocks).sum(),
             elapsed: stats.elapsed(),
         });
-        self.clock += total_host + upload_phase + kernel_phase + stats.readback_time;
+        self.clock += round_total;
         true
     }
 

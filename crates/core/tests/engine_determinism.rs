@@ -540,6 +540,104 @@ fn late_admitted_session_still_meets_deadline_under_full_batch() {
     );
 }
 
+// ---- 5b. Fleet placement/admission/faults across host-thread counts ------
+
+/// A fleet workload exercising every deterministic decision at once: an
+/// overload geometry (more offers than shard + queue capacity, mixed
+/// priority classes, so admission control queues, displaces *and*
+/// rejects), narrow SLO waves, and a fault plan that kills every shard
+/// but rank 0 mid-run (re-placing their residents). Returns admissions,
+/// the full completion transcript, the stats and the shard snapshots —
+/// all of which must be bit-identical for any host-thread count.
+#[allow(clippy::type_complexity)]
+fn fleet_transcript(
+    threads: usize,
+) -> (
+    Vec<String>,
+    Vec<(
+        u64,
+        usize,
+        pmcts_core::fleet::Priority,
+        SimTime,
+        SimTime,
+        u32,
+        SearchReport<pmcts_games::ReversiMove>,
+    )>,
+    pmcts_core::fleet::FleetStats,
+    Vec<pmcts_core::fleet::ShardSnapshot>,
+) {
+    use pmcts_core::fleet::{Fleet, FleetConfig, Priority};
+    let mut config = FleetConfig::new(41);
+    config.shard_capacity = 3;
+    config.queue_capacity = 2;
+    config.wave_limit = 2;
+    config.faults = FaultPlan::dead_component(13, 1.0);
+    let mut fleet: Fleet<Reversi> =
+        Fleet::new(config, Device::fleet(DeviceSpec::tesla_c2050(), 3, threads));
+    let budget = SimTime::from_millis(3);
+    // 3 shards x 3 slots + 2 queue slots = 11 < 14 offers: some must be
+    // rejected, and the class mix forces a displacement.
+    let admissions: Vec<String> = (0..14u64)
+        .map(|s| {
+            let a = fleet.offer(
+                Reversi::initial(),
+                SearchBudget::VirtualTime(budget),
+                cfg(80 + s),
+                Priority::ALL[(s % 3) as usize],
+                Some(budget),
+            );
+            format!("{a:?}")
+        })
+        .collect();
+    fleet.run_to_completion();
+    let completed = fleet
+        .take_completed()
+        .into_iter()
+        .map(|c| {
+            assert_eq!(c.completed_at - c.admitted_at, c.report.elapsed);
+            assert_eq!(c.report.phases.phase_sum(), c.report.elapsed);
+            (
+                c.id.0,
+                c.shard.0,
+                c.priority,
+                c.admitted_at,
+                c.completed_at,
+                c.migrations,
+                c.report,
+            )
+        })
+        .collect();
+    (admissions, completed, fleet.stats(), fleet.shards())
+}
+
+#[test]
+fn fleet_identical_across_host_threads() {
+    let baseline = fleet_transcript(HOST_THREADS[0]);
+    let (admissions, completed, stats, shards) = &baseline;
+    assert!(
+        admissions.iter().any(|a| a == "Rejected"),
+        "overload geometry must reject: {admissions:?}"
+    );
+    assert!(stats.rejected > 0 && stats.admitted + stats.rejected == stats.offered);
+    assert_eq!(completed.len() as u64, stats.admitted);
+    assert!(
+        stats.replaced > 0,
+        "dead shards must re-place their residents"
+    );
+    assert!(
+        completed.iter().any(|c| c.5 > 0),
+        "some completed session must have migrated off a dead shard"
+    );
+    assert!(shards[1].dead && shards[2].dead && !shards[0].dead);
+    for &threads in &HOST_THREADS[1..] {
+        assert_eq!(
+            baseline,
+            fleet_transcript(threads),
+            "fleet transcript changed at {threads} host threads"
+        );
+    }
+}
+
 // ---- 6. Re-root compaction preserves every surviving node ----------------
 
 proptest! {

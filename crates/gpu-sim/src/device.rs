@@ -149,6 +149,20 @@ impl Device {
         Self::new(DeviceSpec::tesla_c2050())
     }
 
+    /// Creates `count` identical devices sharing **one** host worker pool
+    /// of `host_threads` threads — the fleet-shard shape: each shard owns
+    /// its own simulated device (independent virtual clock, launch
+    /// overhead, transfer costs) while the real host threads that execute
+    /// kernel lanes are a single bounded pool. Virtual results never
+    /// depend on the pool size; it only bounds real-machine parallelism.
+    pub fn fleet(spec: DeviceSpec, count: usize, host_threads: usize) -> Vec<Device> {
+        assert!(count >= 1, "a fleet needs at least one device");
+        let pool = Arc::new(WorkerPool::new(host_threads));
+        (0..count)
+            .map(|_| Device::new_with_pool(spec.clone(), Arc::clone(&pool)))
+            .collect()
+    }
+
     /// Replaces the worker pool with a fresh one of `n` threads.
     /// `0` is treated as 1. Virtual timing is unaffected.
     pub fn with_host_threads(mut self, n: usize) -> Self {

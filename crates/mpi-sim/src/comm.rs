@@ -15,6 +15,22 @@ pub(crate) struct Envelope {
 /// Tags with the top bit set are reserved for collectives.
 const COLLECTIVE_TAG: u64 = 1 << 63;
 
+/// A rank identity, `0..world size`.
+///
+/// The raw `usize` APIs on [`Comm`] predate this type; it exists so layers
+/// *above* the communicator (the fleet sharding in `pmcts-core` uses one
+/// simulated device per rank) can carry rank identity without inventing a
+/// parallel id space. Ordering is numeric rank order — the same order every
+/// deterministic tie-break in the workspace uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank(pub usize);
+
+impl std::fmt::Display for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
 /// A rank's handle to the simulated MPI world.
 ///
 /// One `Comm` is owned by each rank thread; it is not `Sync` (MPI
@@ -58,6 +74,12 @@ impl Comm {
     #[inline]
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// This rank's id as a typed [`Rank`].
+    #[inline]
+    pub fn rank_id(&self) -> Rank {
+        Rank(self.rank)
     }
 
     /// Number of ranks in the world.

@@ -28,6 +28,6 @@ pub mod comm;
 pub mod network;
 pub mod world;
 
-pub use comm::Comm;
+pub use comm::{Comm, Rank};
 pub use network::NetworkModel;
 pub use world::World;

@@ -23,6 +23,15 @@ Usage:
                                  batched speedup gate (>= 1.5x vs solo),
                                  latency percentiles present and ordered,
                                  p99 within the per-move deadline slack
+          fleet.json             fleet serving: per-scenario admission
+                                 accounting exact (offered = admitted +
+                                 rejected, shard placements sum to
+                                 admitted), p50 <= p99 <= p999, rejects
+                                 only when offered load exceeds capacity,
+                                 goodput > 0 under overload, dead shards
+                                 re-place their sessions, aggregate
+                                 throughput gate vs the single-device
+                                 baseline (>= devices/2 x)
           divergence_report.txt  per-phase efficiency table parses
 
     --baseline FILE   committed BENCH_throughput.json to compare against
@@ -34,8 +43,10 @@ Usage:
     scripts/check_bench.py --canon FILE
         Print the file's canonical form to stdout: JSON with the
         wall-clock-dependent fields (wall_ns, playouts_per_sec) stripped
-        and keys sorted. Two runs of the same experiment with the same
-        seed must produce identical canonical forms — diff them.
+        — recursively, so nested records (e.g. per-shard sub-records in
+        fleet.json) are stripped too — and keys sorted. Two runs of the
+        same experiment with the same seed must produce identical
+        canonical forms — diff them.
 
 Exits non-zero with a message on the first failed check.
 """
@@ -467,6 +478,134 @@ def check_serve(path):
     )
 
 
+# Aggregate fleet throughput must scale with the shard count: the gate is
+# half the ideal (devices x) to leave room for queue-drain tails, with the
+# committed artifact showing near-linear scaling (~8.5x on 8 shards).
+MIN_FLEET_SPEEDUP_PER_DEVICE = 0.5
+FLEET_SCENARIOS = ["nominal", "overload", "faulted", "single_device"]
+FLEET_SCENARIO_FIELDS = [
+    "devices",
+    "offered",
+    "capacity",
+    "admitted",
+    "queued",
+    "rejected",
+    "replaced",
+    "completed",
+    "good",
+    "dead_shards",
+    "latency_p50_ns",
+    "latency_p99_ns",
+    "latency_p999_ns",
+    "makespan_ns",
+    "sims",
+    "shards",
+]
+FLEET_SHARD_FIELDS = ["rank", "dead", "placed", "replaced_in", "clock_ns"]
+
+
+def no_wall_fields(rec, where):
+    """Recursively reject wall-clock fields — nested records included."""
+    if isinstance(rec, dict):
+        for f in WALL_FIELDS:
+            if f in rec:
+                fail(f"{where}: wall-clock field {f!r} breaks determinism diffing")
+        for k, v in rec.items():
+            no_wall_fields(v, f"{where}.{k}")
+    elif isinstance(rec, list):
+        for i, v in enumerate(rec):
+            no_wall_fields(v, f"{where}[{i}]")
+
+
+def check_fleet(path):
+    """Fleet serving artifact: one record per scenario with exact
+    admission/placement accounting and ordered latency percentiles, plus
+    the aggregate-throughput summary gate."""
+    data = json.load(open(path))
+    scenarios = {r.get("name"): r for r in data if r.get("kind") == "scenario"}
+    summary = next((r for r in data if r.get("kind") == "summary"), None)
+    if summary is None:
+        fail(f"{path}: no summary record")
+    for name in FLEET_SCENARIOS:
+        if name not in scenarios:
+            fail(f"{path}: missing scenario record {name!r}")
+    for i, rec in enumerate(data):
+        no_wall_fields(rec, f"{path}[{i}]")
+    for name, rec in scenarios.items():
+        where = f"{path} ({name})"
+        for f in FLEET_SCENARIO_FIELDS:
+            if f not in rec:
+                fail(f"{where}: missing field {f!r}")
+        if rec["offered"] != rec["admitted"] + rec["rejected"]:
+            fail(
+                f"{where}: offered {rec['offered']} != admitted"
+                f" {rec['admitted']} + rejected {rec['rejected']}"
+            )
+        if rec["completed"] != rec["admitted"]:
+            fail(
+                f"{where}: completed {rec['completed']} != admitted"
+                f" {rec['admitted']} (the fleet must serve everything it admits)"
+            )
+        for f in FLEET_SHARD_FIELDS:
+            for s in rec["shards"]:
+                if f not in s:
+                    fail(f"{where}: shard record missing field {f!r}")
+        placed = sum(s["placed"] for s in rec["shards"])
+        if placed != rec["admitted"]:
+            fail(
+                f"{where}: shard placements sum to {placed}"
+                f" != admitted {rec['admitted']}"
+            )
+        replaced_in = sum(s["replaced_in"] for s in rec["shards"])
+        if replaced_in != rec["replaced"]:
+            fail(
+                f"{where}: shard re-placements sum to {replaced_in}"
+                f" != replaced {rec['replaced']}"
+            )
+        p50, p99, p999 = (
+            rec["latency_p50_ns"],
+            rec["latency_p99_ns"],
+            rec["latency_p999_ns"],
+        )
+        if not p50 <= p99 <= p999:
+            fail(f"{where}: latency percentiles not ordered: {p50} / {p99} / {p999}")
+        if rec["rejected"] > 0 and rec["offered"] <= rec["capacity"]:
+            fail(
+                f"{where}: {rec['rejected']} rejects but offered"
+                f" {rec['offered']} <= capacity {rec['capacity']}"
+                " (admission control must only reject under overload)"
+            )
+    overload = scenarios["overload"]
+    if overload["rejected"] == 0:
+        fail(f"{path}: overload scenario rejected nothing (not an overload)")
+    if overload["good"] <= 0:
+        fail(f"{path}: no goodput under overload (SLO scheduling starved everyone)")
+    faulted = scenarios["faulted"]
+    if faulted["dead_shards"] == 0:
+        fail(f"{path}: faulted scenario killed no shards")
+    if faulted["replaced"] == 0:
+        fail(f"{path}: faulted scenario re-placed no sessions")
+    if faulted["completed"] != faulted["admitted"]:
+        fail(f"{path}: faulted scenario lost admitted sessions")
+    speedup = summary.get("speedup_vs_single_device")
+    if speedup is None:
+        fail(f"{path}: summary lacks speedup_vs_single_device")
+    devices = summary.get("devices", 0)
+    floor = MIN_FLEET_SPEEDUP_PER_DEVICE * devices
+    if speedup < floor:
+        fail(
+            f"{path}: fleet aggregate throughput only {speedup:.2f}x"
+            f" single-device on {devices} shards (gate: >= {floor:.1f}x)"
+        )
+    print(
+        f"check_bench: OK: {path}: {len(scenarios)} scenarios,"
+        f" overload rejected {overload['rejected']} with goodput"
+        f" {overload['good']}, {faulted['replaced']} sessions re-placed off"
+        f" {faulted['dead_shards']} dead shards,"
+        f" fleet {speedup:.2f}x single-device on {devices} shards"
+    )
+
+
 def check_divergence(path):
     text = open(path).read()
     if "divergence_report" not in text.splitlines()[0]:
@@ -481,11 +620,22 @@ def check_divergence(path):
     print(f"check_bench: OK: {path}: 3 phase rows, efficiencies sane")
 
 
+def strip_wall(node):
+    """Strips wall-clock fields recursively: top-level records and any
+    nested objects (fleet per-shard sub-records, future aggregates)."""
+    if isinstance(node, dict):
+        for f in WALL_FIELDS:
+            node.pop(f, None)
+        for v in node.values():
+            strip_wall(v)
+    elif isinstance(node, list):
+        for v in node:
+            strip_wall(v)
+
+
 def canon(path):
     data = json.load(open(path))
-    for rec in data:
-        for f in WALL_FIELDS:
-            rec.pop(f, None)
+    strip_wall(data)
     json.dump(data, sys.stdout, indent=1, sort_keys=True)
     print()
 
@@ -495,6 +645,7 @@ CHECKS = {
     "BENCH_throughput.json": check_throughput,
     "fault_matrix.json": check_fault_matrix,
     "serve.json": check_serve,
+    "fleet.json": check_fleet,
     "divergence_report.txt": check_divergence,
 }
 
