@@ -6,14 +6,22 @@
 //! `elapsed` exactly. One JSON record per cell carries the standard phase
 //! ledger plus the `FaultCounters` and the chosen move.
 //!
-//! The output contains no wall-clock fields, so the same (seed, plan) must
+//! The matrix runs on two games: Reversi (the paper's domain, written to
+//! `fault_matrix.json`, byte-identical to the pre-Hex artifact) and Hex
+//! 11×11 (a branchier, longer game exercising the same fault policies,
+//! written to `fault_matrix_hex11.json`).
+//!
+//! The outputs contain no wall-clock fields, so the same (seed, plan) must
 //! produce byte-identical JSON at any `--host-threads` count — the CI
 //! determinism gate diffs two runs at different counts.
 //!
 //! Run: `cargo run --release -p pmcts-bench --bin fault_matrix -- [--full]`
-//! (`--out DIR` also writes `DIR/fault_matrix.json`).
+//! (`--out DIR` also writes `DIR/fault_matrix.json` and
+//! `DIR/fault_matrix_hex11.json`).
 
-use pmcts_bench::{midgame_position, phase_record, write_json, BenchArgs, JsonObject};
+use pmcts_bench::{
+    midgame_position, midgame_position_of, phase_record, write_json, BenchArgs, JsonObject,
+};
 use pmcts_core::prelude::*;
 use pmcts_gpu_sim::WorkerPool;
 use pmcts_mpi_sim::NetworkModel;
@@ -35,9 +43,10 @@ fn fault_classes(seed: u64) -> Vec<(&'static str, FaultPlan)> {
     ]
 }
 
-fn main() {
-    let args = BenchArgs::parse();
-    let position = midgame_position(args.seed, 20);
+/// Runs the full {fault class} × {scheme} matrix for one game from
+/// `position` and returns one record per cell, in the fixed class-outer,
+/// scheme-inner order the determinism diffs pin.
+fn matrix_for<G: Game>(args: &BenchArgs, position: G) -> Vec<JsonObject> {
     let iters = if args.full { 12 } else { 4 };
     let budget = SearchBudget::Iterations(iters);
     let ranks = if args.full { 3 } else { 2 };
@@ -50,7 +59,7 @@ fn main() {
     let mut records: Vec<JsonObject> = Vec::new();
     for (class, plan) in fault_classes(args.seed) {
         let cfg = MctsConfig::default().with_seed(args.seed).with_faults(plan);
-        let mut run = |scheme: &str, searcher: &mut dyn Searcher<Reversi>| {
+        let mut run = |scheme: &str, searcher: &mut dyn Searcher<G>| {
             let r = searcher.search(position, budget);
             let best = r
                 .best_move
@@ -69,29 +78,29 @@ fn main() {
 
         run(
             "leaf_parallel",
-            &mut LeafParallelSearcher::<Reversi>::new(cfg.clone(), device(), launch),
+            &mut LeafParallelSearcher::<G>::new(cfg.clone(), device(), launch),
         );
         run(
             "block_parallel",
-            &mut BlockParallelSearcher::<Reversi>::new(cfg.clone(), device(), launch),
+            &mut BlockParallelSearcher::<G>::new(cfg.clone(), device(), launch),
         );
         run(
             // Degradation ladder: hang → costed dry-run + retry once →
             // host block-parallel fallback for the rest of the move.
             "device_tree",
-            &mut DeviceTreeSearcher::<Reversi>::new(cfg.clone(), device(), launch),
+            &mut DeviceTreeSearcher::<G>::new(cfg.clone(), device(), launch),
         );
         run(
             "hybrid",
-            &mut HybridSearcher::<Reversi>::new(cfg.clone(), device(), launch),
+            &mut HybridSearcher::<G>::new(cfg.clone(), device(), launch),
         );
         run(
             "root_parallel",
-            &mut RootParallelSearcher::<Reversi>::new(cfg.clone(), 4).with_workers(host_threads),
+            &mut RootParallelSearcher::<G>::new(cfg.clone(), 4).with_workers(host_threads),
         );
         run(
             "multi_gpu",
-            &mut MultiGpuSearcher::<Reversi>::new(
+            &mut MultiGpuSearcher::<G>::new(
                 cfg.clone(),
                 ranks,
                 DeviceSpec::tesla_c2050(),
@@ -102,14 +111,26 @@ fn main() {
         );
         run(
             "multi_node_cpu",
-            &mut MultiNodeCpuSearcher::<Reversi>::new(cfg.clone(), ranks, 2, net),
+            &mut MultiNodeCpuSearcher::<G>::new(cfg.clone(), ranks, 2, net),
         );
     }
+    records
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let iters = if args.full { 12 } else { 4 };
+
+    let records = matrix_for::<Reversi>(&args, midgame_position(args.seed, 20));
+    // Hex 11×11 from a 40-ply random prefix: mid-game at the same relative
+    // depth as Reversi ply 20 (121-cell board, no captures, ~115 plies).
+    let hex_records = matrix_for::<Hex11>(&args, midgame_position_of::<Hex11>(args.seed, 40));
 
     eprintln!(
-        "{} cells ({} fault classes × 7 schemes), {iters} iterations each",
+        "{} cells per game × 2 games ({} fault classes × 7 schemes), {iters} iterations each",
         records.len(),
         fault_classes(args.seed).len(),
     );
     write_json("fault_matrix", &records, &args);
+    write_json("fault_matrix_hex11", &hex_records, &args);
 }

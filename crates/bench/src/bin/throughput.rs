@@ -62,7 +62,8 @@ fn rate(count: u64, wall_ns: u64) -> f64 {
 }
 
 /// Raw single-core playout throughput on a mid-game position.
-fn bench_cpu_playouts(position: Reversi, playouts: u64, seed: u64) -> JsonObject {
+/// Also returns playouts/s — the scalar baseline the lane gate divides by.
+fn bench_cpu_playouts(position: Reversi, playouts: u64, seed: u64) -> (JsonObject, f64) {
     let mut rng = Xoshiro256pp::derive(seed, 0xBEEF);
     let mut plies = 0u64;
     let mut wins = 0u64; // fold the outcome so the loop cannot be optimised out
@@ -76,13 +77,69 @@ fn bench_cpu_playouts(position: Reversi, playouts: u64, seed: u64) -> JsonObject
     }
     let wall_ns = start.elapsed().as_nanos() as u64;
     assert!(wins > 0 && wins < playouts, "degenerate playout sample");
-    JsonObject::new()
+    let record = JsonObject::new()
         .str_field("record", "cpu_playouts")
         .u64_field("playouts", playouts)
         .u64_field("plies", plies)
         .u64_field("wall_ns", wall_ns)
         .f64_field("playouts_per_sec", rate(playouts, wall_ns))
+        .f64_field("plies_per_sec", rate(plies, wall_ns));
+    (record, rate(playouts, wall_ns))
+}
+
+/// Single-core multi-lane playout throughput at lane width `N`
+/// (DESIGN.md §15).
+///
+/// Same position and total playout count as [`bench_cpu_playouts`]
+/// (rounded down to whole `N`-wide batches), one derived RNG stream per
+/// playout — the kernel's stream discipline. The workload runs twice and
+/// both checksums are recorded; `check_bench.py` requires them equal
+/// (lane batching is deterministic). Returns the record plus playouts/s.
+fn bench_playout_lanes<const N: usize>(
+    position: Reversi,
+    playouts: u64,
+    seed: u64,
+) -> (JsonObject, f64) {
+    let groups = playouts / N as u64;
+    let run = || {
+        let mut checksum = 0u64;
+        let mut plies = 0u64;
+        let start = Instant::now();
+        for g in 0..groups {
+            let rngs: [Xoshiro256pp; N] = std::array::from_fn(|i| {
+                Xoshiro256pp::derive(seed ^ 0x1A9E5, g * N as u64 + i as u64)
+            });
+            for r in pmcts_games::LaneBatch::new([position; N], rngs).run() {
+                plies += u64::from(r.plies);
+                let outcome_code = match r.outcome {
+                    Outcome::Win(Player::P1) => 1u64,
+                    Outcome::Win(Player::P2) => 2,
+                    Outcome::Draw => 3,
+                };
+                let enc = (u64::from(r.plies) << 10)
+                    | (outcome_code << 8)
+                    | (r.final_score as i64 as u64 & 0xFF);
+                checksum = checksum.wrapping_mul(0x100_0000_01B3).wrapping_add(enc);
+            }
+        }
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        (checksum, plies, wall_ns)
+    };
+    let (checksum, plies, wall_ns) = run();
+    let (rerun, _, _) = run();
+    assert_eq!(checksum, rerun, "lane playouts must be deterministic");
+    let done = groups * N as u64;
+    let record = JsonObject::new()
+        .str_field("record", "playout_lanes")
+        .u64_field("lanes", N as u64)
+        .u64_field("playouts", done)
+        .u64_field("plies", plies)
+        .u64_field("wall_ns", wall_ns)
+        .f64_field("playouts_per_sec", rate(done, wall_ns))
         .f64_field("plies_per_sec", rate(plies, wall_ns))
+        .u64_field("checksum", checksum)
+        .u64_field("checksum_rerun", rerun);
+    (record, rate(done, wall_ns))
 }
 
 /// One engine's wall-clock over `reps` launches of per-rep kernels.
@@ -681,7 +738,19 @@ fn main() {
     assert_eq!(fast.stats, oracle.stats, "engine stats diverged");
 
     let mut records: Vec<JsonObject> = Vec::new();
-    records.push(bench_cpu_playouts(position, cpu_playouts, args.seed));
+    let (rec, cpu_playout_rate) = bench_cpu_playouts(position, cpu_playouts, args.seed);
+    records.push(rec);
+
+    // Multi-lane playout engine at widths 1/4/8; the 8-lane rate against
+    // the scalar record above is the PR's acceptance gate (≥ 2.0x,
+    // enforced by check_bench.py).
+    let (rec, _) = bench_playout_lanes::<1>(position, cpu_playouts, args.seed);
+    records.push(rec);
+    let (rec, _) = bench_playout_lanes::<4>(position, cpu_playouts, args.seed);
+    records.push(rec);
+    let (rec, lanes8_rate) = bench_playout_lanes::<8>(position, cpu_playouts, args.seed);
+    records.push(rec);
+    let playout_lanes_speedup = lanes8_rate / cpu_playout_rate;
 
     let (rec, legacy_rate) = bench_engine("legacy_lockstep", &kernels, launch, |k| {
         execute_kernel_lockstep(k, &launch, &spec)
@@ -810,6 +879,7 @@ fn main() {
         .f64_field("rtc_pool_lane_steps_per_sec", rtc_pool_rate)
         .f64_field("kernel_speedup_vs_lockstep", speedup_pool)
         .f64_field("kernel_speedup_vs_lockstep_1_thread", speedup_1t)
+        .f64_field("playout_lanes_speedup_vs_scalar", playout_lanes_speedup)
         .f64_field("tree_ops_select_speedup_vs_aos", sel_speedup)
         .f64_field("tree_ops_expand_speedup_vs_aos", exp_speedup)
         .f64_field("tree_ops_backprop_speedup_vs_aos", bp_speedup)
@@ -826,6 +896,7 @@ fn main() {
          {speedup_pool:.2}x ({} threads)",
         pool.size()
     );
+    eprintln!("playout lanes (8-wide) vs scalar playouts: {playout_lanes_speedup:.2}x");
     eprintln!(
         "SoA tree speedup vs AoS baseline: select {sel_speedup:.2}x, \
          expand {exp_speedup:.2}x, backprop {bp_speedup:.2}x"

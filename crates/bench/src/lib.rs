@@ -309,7 +309,14 @@ pub fn write_json(name: &str, records: &[JsonObject], args: &BenchArgs) {
 /// mid-game positions because the branching factor (and hence kernel
 /// divergence) is at its Reversi-typical level there.
 pub fn midgame_position(seed: u64, plies: u32) -> Reversi {
-    let mut state = Reversi::initial();
+    midgame_position_of::<Reversi>(seed, plies)
+}
+
+/// [`midgame_position`] for any game: `plies` uniformly random moves from
+/// the initial position, drawn from the same `seed`-derived stream. The
+/// Reversi wrapper above delegates here, so its positions are unchanged.
+pub fn midgame_position_of<G: Game>(seed: u64, plies: u32) -> G {
+    let mut state = G::initial();
     let mut rng = SplitMix64::new(seed ^ 0x4D1D_6A3E);
     for _ in 0..plies {
         match state.random_move(&mut rng) {

@@ -98,7 +98,7 @@ pub mod prelude {
     pub use crate::telemetry::PhaseBreakdown;
     pub use crate::transposition::{TransStats, TransTable};
     pub use crate::tree_parallel::TreeParallelSearcher;
-    pub use pmcts_games::{Connect4, Game, Hex7, Outcome, Player, Reversi, TicTacToe};
+    pub use pmcts_games::{Connect4, Game, Hex11, Hex7, Outcome, Player, Reversi, TicTacToe};
     pub use pmcts_gpu_sim::{Device, DeviceSpec, LaunchConfig};
     pub use pmcts_mpi_sim::Rank;
     pub use pmcts_util::{FaultCounters, FaultPlan, GpuFault, SimTime};

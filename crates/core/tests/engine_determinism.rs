@@ -114,6 +114,45 @@ fn leaf_parallel_identical_across_host_threads() {
 }
 
 #[test]
+fn leaf_parallel_lane_chunks_identical_across_host_threads() {
+    // threads_per_block = 38 splits each block into a full 32-lane warp
+    // (four 8-wide LaneBatch chunks) and a 6-lane partial warp (one 4-wide
+    // chunk plus two scalar lanes), so one launch exercises every branch
+    // of the chunked `run_lanes` dispatch. The report must be identical
+    // across host threads *and* pinned bit-for-bit: lane batching is a
+    // wall-clock fast path that virtual time never observes, so this
+    // fingerprint must survive any future lane-engine change.
+    let mut pinned = None;
+    assert_reports_identical("leaf (lane chunks)", SearchBudget::Iterations(6), |t| {
+        let r = LeafParallelSearcher::new(cfg(91), device(t), LaunchConfig::new(2, 38))
+            .search(Reversi::initial(), SearchBudget::Iterations(6));
+        pinned.get_or_insert_with(|| {
+            let visits: u64 = r.root_stats.iter().map(|s| s.visits).sum();
+            let wins: f64 = r.root_stats.iter().map(|s| s.wins).sum();
+            format!(
+                "{:?}/s{}/i{}/e{}/v{}/w{}",
+                r.best_move,
+                r.simulations,
+                r.iterations,
+                r.elapsed.as_nanos(),
+                visits,
+                wins.to_bits()
+            )
+        });
+        Box::new(LeafParallelSearcher::new(
+            cfg(91),
+            device(t),
+            LaunchConfig::new(2, 38),
+        ))
+    });
+    assert_eq!(
+        pinned.as_deref(),
+        Some("Some(ReversiMove(44))/s456/i6/e8804504/v456/w4641979762795872256"),
+        "lane-path leaf search fingerprint drifted"
+    );
+}
+
+#[test]
 fn block_parallel_identical_across_host_threads() {
     assert_reports_identical("block", SearchBudget::Iterations(5), |t| {
         Box::new(BlockParallelSearcher::new(
@@ -133,6 +172,71 @@ fn device_tree_identical_across_host_threads() {
             LaunchConfig::new(4, 32),
         ))
     });
+}
+
+#[test]
+fn hex11_searches_identical_across_host_threads_and_pinned() {
+    // The Hex 11×11 scenario coverage added alongside the lane engine
+    // (fault-matrix + arena entries): the generic engines must be
+    // host-thread-invariant on the branchier non-Reversi game too, and the
+    // fingerprints are pinned so future lane-engine changes can't drift
+    // them (Hex opts out of lane batching — `Game::LANE_ENGINE` is false —
+    // so these pin the scalar `run_lanes` fallback path).
+    type Build = fn(usize) -> Box<dyn Searcher<Hex11>>;
+    fn leaf(t: usize) -> Box<dyn Searcher<Hex11>> {
+        Box::new(LeafParallelSearcher::new(
+            cfg(33),
+            device(t),
+            LaunchConfig::new(2, 38),
+        ))
+    }
+    fn block(t: usize) -> Box<dyn Searcher<Hex11>> {
+        Box::new(BlockParallelSearcher::new(
+            cfg(34),
+            device(t),
+            LaunchConfig::new(4, 32),
+        ))
+    }
+    let cases: [(&str, &str, Build); 2] = [
+        (
+            "hex11 leaf",
+            "Some(66)/s304/i4/e11336153/v304/w4639587225493831680",
+            leaf,
+        ),
+        (
+            "hex11 block",
+            "Some(117)/s512/i4/e5927636/v512/w4643439914237558784",
+            block,
+        ),
+    ];
+    for (what, pin, build) in cases {
+        let mut baseline = None;
+        for threads in HOST_THREADS {
+            let r = build(threads).search(Hex11::initial(), SearchBudget::Iterations(4));
+            match &baseline {
+                None => baseline = Some(r),
+                Some(expect) => {
+                    assert_eq!(
+                        expect, &r,
+                        "{what}: report changed at {threads} host threads"
+                    );
+                }
+            }
+        }
+        let r = baseline.expect("at least one report");
+        let visits: u64 = r.root_stats.iter().map(|s| s.visits).sum();
+        let wins: f64 = r.root_stats.iter().map(|s| s.wins).sum();
+        let got = format!(
+            "{:?}/s{}/i{}/e{}/v{}/w{}",
+            r.best_move,
+            r.simulations,
+            r.iterations,
+            r.elapsed.as_nanos(),
+            visits,
+            wins.to_bits()
+        );
+        assert_eq!(got, pin, "{what}: pinned fingerprint drifted");
+    }
 }
 
 #[test]

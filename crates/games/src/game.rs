@@ -86,6 +86,13 @@ pub trait Game: Copy + Clone + PartialEq + Send + Sync + std::fmt::Debug + 'stat
     /// Upper bound on plies from any reachable state to a terminal state.
     const MAX_GAME_LENGTH: usize;
 
+    /// Whether [`lane_playouts`](Game::lane_playouts) is a measured
+    /// wall-clock win over scalar playouts for this game. The playout
+    /// kernel only routes warps through lane batches when this is set;
+    /// games on the generic interleaved engine keep the scalar path (the
+    /// round-robin bookkeeping costs more than its ILP buys there).
+    const LANE_ENGINE: bool = false;
+
     /// The initial position.
     fn initial() -> Self;
 
@@ -170,6 +177,25 @@ pub trait Game: Copy + Clone + PartialEq + Send + Sync + std::fmt::Debug + 'stat
         } else {
             Some(buf[rng.next_below(buf.len() as u32) as usize])
         }
+    }
+
+    /// Runs `N` independent random playouts, lane `i` from `roots[i]`
+    /// drawing from `rngs[i]`, and returns the per-lane results.
+    ///
+    /// This is the batch entry point behind
+    /// [`LaneBatch`](crate::playout::LaneBatch). The default is the
+    /// interleaved scalar engine; games with bit-parallel kernels
+    /// (Reversi) override it to advance all lanes through straight-line
+    /// bitboard code. **Overrides must be bit-identical to `N` scalar
+    /// [`random_playout`](crate::playout::random_playout) calls** — same
+    /// results, same per-lane RNG draw sequences, same ply counts — so
+    /// lane batching never changes virtual-time results (DESIGN.md §15).
+    #[inline]
+    fn lane_playouts<R: Rng64, const N: usize>(
+        roots: &[Self; N],
+        rngs: &mut [R; N],
+    ) -> [crate::playout::PlayoutResult; N] {
+        crate::playout::interleaved_lane_playouts(roots, rngs)
     }
 }
 

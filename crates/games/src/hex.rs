@@ -12,7 +12,6 @@
 
 use crate::game::{Game, MoveBuf, Outcome, Player};
 use crate::zobrist;
-use pmcts_util::Rng64;
 
 /// Zobrist key domain tag; the board size is mixed in so different `Hex<N>`
 /// instantiations never share keys. Indices are `player * N² + cell`; no
@@ -259,25 +258,12 @@ impl<const N: usize> Game for Hex<N> {
         std::mem::size_of::<Self>()
     }
 
-    /// Bitboard-native uniform move choice (`_buf` is unused).
-    #[inline]
-    fn random_move_with<R: Rng64>(&self, rng: &mut R, _buf: &mut MoveBuf<u8>) -> Option<u8> {
-        if self.winner.is_some() {
-            return None;
-        }
-        let empty = Self::BOARD & !(self.red | self.blue);
-        let n = empty.count_ones();
-        if n == 0 {
-            return None;
-        }
-        // Select the k-th set bit of a u128.
-        let k = rng.next_below(n);
-        let mut m = empty;
-        for _ in 0..k {
-            m &= m - 1;
-        }
-        Some(m.trailing_zeros() as u8)
-    }
+    // `random_move_with` deliberately uses the trait default: it routes
+    // through the caller's shared `MoveBuf`, the uniform allocation-free
+    // convention lane batching relies on. (A former bitboard-native
+    // override ignored its buffer; the default draws the same single
+    // `next_below(popcount(empty))` and picks the same ascending-order
+    // cell, so the switch was bit-identical.)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! designed around.
 
 use crate::game::{Game, MoveBuf, Outcome, Player};
-use pmcts_util::Rng64;
+use pmcts_util::{Rng64, Xoshiro256pp};
 
 /// The result of one random playout.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -62,6 +62,101 @@ pub fn random_playout<G: Game, R: Rng64>(mut state: G, rng: &mut R) -> PlayoutRe
         plies,
         final_score: state.score(),
     }
+}
+
+/// A batch of `N` independent playout lanes advanced together.
+///
+/// This is the wall-clock fast path for the ~10⁵/s playout hot loop: `N`
+/// boards, `N` RNG streams, and `N` fixed-capacity move buffers move in
+/// lock-step, so game engines with bit-parallel kernels (Reversi) can
+/// compute move masks and flip masks for all lanes back-to-back as
+/// straight-line u64 code instead of one board at a time.
+///
+/// **Equivalence contract** (DESIGN.md §15): running a batch is
+/// bit-identical to running `N` scalar [`random_playout`] calls, lane `i`
+/// on `(roots[i], rngs[i])` — same [`PlayoutResult`]s *and* same final RNG
+/// states. Lane batching is invisible to everything above it: virtual
+/// time, fingerprints, and `SimTime` ledgers never observe it.
+#[derive(Clone, Debug)]
+pub struct LaneBatch<G: Game, const N: usize> {
+    roots: [G; N],
+    rngs: [Xoshiro256pp; N],
+}
+
+impl<G: Game, const N: usize> LaneBatch<G, N> {
+    /// Builds a batch from per-lane roots and RNG streams.
+    pub fn new(roots: [G; N], rngs: [Xoshiro256pp; N]) -> Self {
+        Self { roots, rngs }
+    }
+
+    /// Runs every lane to completion via the game's lane engine
+    /// ([`Game::lane_playouts`] — bit-parallel for Reversi, interleaved
+    /// scalar otherwise).
+    pub fn run(mut self) -> [PlayoutResult; N] {
+        G::lane_playouts(&self.roots, &mut self.rngs)
+    }
+
+    /// Like [`run`](Self::run), but also returns the final RNG states so
+    /// equivalence tests can assert the exact per-lane draw counts.
+    pub fn run_with_rngs(mut self) -> ([PlayoutResult; N], [Xoshiro256pp; N]) {
+        let results = G::lane_playouts(&self.roots, &mut self.rngs);
+        (results, self.rngs)
+    }
+}
+
+/// The generic interleaved lane engine — the default body of
+/// [`Game::lane_playouts`].
+///
+/// Round-robin: each pass advances every unfinished lane by one ply via
+/// [`Game::random_move_with`] on that lane's own buffer and RNG. Because
+/// the lanes' RNG streams are independent, interleaving plies across lanes
+/// is trivially bit-identical to running the lanes one after another; the
+/// win is instruction-level parallelism from `N` independent
+/// move-gen/apply dependency chains in flight at once.
+///
+/// # Panics
+/// Panics if any lane exceeds [`Game::MAX_GAME_LENGTH`] plies, exactly
+/// like [`random_playout`].
+pub fn interleaved_lane_playouts<G: Game, R: Rng64, const N: usize>(
+    roots: &[G; N],
+    rngs: &mut [R; N],
+) -> [PlayoutResult; N] {
+    let mut states = *roots;
+    let mut bufs: [MoveBuf<G::Move>; N] = std::array::from_fn(|_| MoveBuf::new());
+    let mut plies = [0u32; N];
+    let mut results: [Option<PlayoutResult>; N] = [None; N];
+    let mut live = N;
+    while live > 0 {
+        for i in 0..N {
+            if results[i].is_some() {
+                continue;
+            }
+            match states[i].random_move_with(&mut rngs[i], &mut bufs[i]) {
+                Some(mv) => {
+                    states[i].apply(mv);
+                    plies[i] += 1;
+                    assert!(
+                        plies[i] as usize <= G::MAX_GAME_LENGTH,
+                        "{} playout exceeded MAX_GAME_LENGTH={}",
+                        G::NAME,
+                        G::MAX_GAME_LENGTH
+                    );
+                }
+                None => {
+                    let outcome = states[i]
+                        .outcome()
+                        .expect("state without a legal move is terminal");
+                    results[i] = Some(PlayoutResult {
+                        outcome,
+                        plies: plies[i],
+                        final_score: states[i].score(),
+                    });
+                    live -= 1;
+                }
+            }
+        }
+    }
+    results.map(|r| r.expect("all lanes ran to completion"))
 }
 
 /// Runs `n` playouts and returns the number of wins for `perspective`

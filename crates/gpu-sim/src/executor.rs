@@ -62,19 +62,34 @@ fn simulate_block<K: Kernel>(
     let mut lane_steps_total = 0u64;
     let mut idle_total = 0u64;
 
+    let mut tids: Vec<ThreadId> = Vec::with_capacity(warp as usize);
+    let mut lane_results: Vec<(K::Output, u64)> = Vec::with_capacity(warp as usize);
     let mut warp_start = 0u32;
     while warp_start < tpb {
         let lanes = warp.min(tpb - warp_start);
-        let mut max_steps = 0u64;
-        let mut sum_steps = 0u64;
+        tids.clear();
         for lane in 0..lanes {
             let thread = warp_start + lane;
-            let tid = ThreadId {
+            tids.push(ThreadId {
                 block,
                 thread,
                 global: block * tpb + thread,
-            };
-            let (output, steps) = kernel.run_lane(tid);
+            });
+        }
+        // One warp at a time through the kernel's batch entry point: lane
+        // batches (e.g. bit-parallel multi-lane playouts) run here, with
+        // outputs and step counts contractually identical to per-lane
+        // `run_lane` calls.
+        lane_results.clear();
+        kernel.run_lanes(&tids, &mut lane_results);
+        assert_eq!(
+            lane_results.len(),
+            lanes as usize,
+            "run_lanes must produce one (output, steps) per lane"
+        );
+        let mut max_steps = 0u64;
+        let mut sum_steps = 0u64;
+        for (output, steps) in lane_results.drain(..) {
             outputs.push(output);
             max_steps = max_steps.max(steps);
             sum_steps += steps;

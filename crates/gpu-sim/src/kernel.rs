@@ -120,6 +120,22 @@ pub trait Kernel: Sync {
             }
         }
     }
+
+    /// Runs a contiguous group of lanes (the executor passes one warp at a
+    /// time) and pushes each lane's `(output, steps)` into `out`, in `tids`
+    /// order.
+    ///
+    /// The default is a scalar loop over [`run_lane`](Self::run_lane).
+    /// Kernels whose lanes batch profitably (e.g. bit-parallel multi-lane
+    /// playouts) override this, but the override **must** push exactly the
+    /// outputs and step counts the default would, in the same order — lane
+    /// batching is a wall-clock optimisation that the simulated timing
+    /// model never observes.
+    fn run_lanes(&self, tids: &[ThreadId], out: &mut Vec<(Self::Output, u64)>) {
+        for &tid in tids {
+            out.push(self.run_lane(tid));
+        }
+    }
 }
 
 #[cfg(test)]

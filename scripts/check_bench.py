@@ -13,11 +13,16 @@ Usage:
                                  rerun checksums, steady state >= 1.0x vs
                                  unbounded), device-resident tree gate
                                  (>= 1.5x virtual sims/s vs block_parallel
-                                 on the same budget), host_phases pairs,
+                                 on the same budget), playout_lanes records
+                                 (widths 1/4/8, per-record rerun checksums
+                                 equal, all widths bit-identical to each
+                                 other, lanes-8 >= 2.0x the scalar
+                                 cpu_playouts record), host_phases pairs,
                                  and — with --baseline — a no-regression
                                  gate on the sequential search record's
                                  playouts_per_sec
           fault_matrix.json      every cell degraded gracefully
+          fault_matrix_hex11.json  same matrix on Hex 11x11
           serve.json             multi-session serving: per-move phase
                                  ledgers exact, sessions-per-launch > 1,
                                  batched speedup gate (>= 1.5x vs solo),
@@ -129,6 +134,22 @@ BOUNDED_TREE_OPS_FIELDS = [
     "tt_recovered_visits",
     "tt_drops",
     "tt_occupied",
+    "checksum",
+    "checksum_rerun",
+]
+# The 8-wide lane batch must clearly beat the scalar playout loop on the
+# identical workload (committed artifact shows ~4.4x from the bit-parallel
+# Reversi kernels + skipped host-only Zobrist upkeep; 2.0 is the
+# acceptance line, leaving headroom for noisy CI runners).
+MIN_PLAYOUT_LANES_SPEEDUP = 2.0
+PLAYOUT_LANES_WIDTHS = [1, 4, 8]
+PLAYOUT_LANES_FIELDS = [
+    "lanes",
+    "playouts",
+    "plies",
+    "wall_ns",
+    "playouts_per_sec",
+    "plies_per_sec",
     "checksum",
     "checksum_rerun",
 ]
@@ -247,6 +268,55 @@ def check_bounded_tree_ops(path, data, summary):
     return steady
 
 
+def check_playout_lanes(path, data, summary):
+    """The lane-batch playout records: all three wired widths present and
+    structurally complete, every width's double run bit-identical (rerun
+    checksum), every width bit-identical to every other (the equivalence
+    contract: batching must not change a single playout), and the 8-wide
+    batch faster than the scalar cpu_playouts record by the gate margin."""
+    recs = {r.get("lanes"): r for r in data if r.get("record") == "playout_lanes"}
+    for width in PLAYOUT_LANES_WIDTHS:
+        if width not in recs:
+            fail(f"{path}: missing playout_lanes record for width {width}")
+        rec = recs[width]
+        for f in PLAYOUT_LANES_FIELDS:
+            if f not in rec:
+                fail(f"{path}: playout_lanes[{width}]: missing field {f!r}")
+        if rec["checksum"] != rec["checksum_rerun"]:
+            fail(
+                f"{path}: playout_lanes[{width}] nondeterministic: checksum"
+                f" {rec['checksum']} != rerun {rec['checksum_rerun']}"
+            )
+    base = recs[PLAYOUT_LANES_WIDTHS[0]]
+    for width in PLAYOUT_LANES_WIDTHS[1:]:
+        for f in ("playouts", "plies", "checksum"):
+            if recs[width][f] != base[f]:
+                fail(
+                    f"{path}: playout_lanes[{width}] diverges from width"
+                    f" {PLAYOUT_LANES_WIDTHS[0]} on {f!r}:"
+                    f" {recs[width][f]} != {base[f]}"
+                    " (lane batching must be bit-identical to scalar)"
+                )
+    scalar = next((r for r in data if r.get("record") == "cpu_playouts"), None)
+    if scalar is None or "playouts_per_sec" not in scalar:
+        fail(f"{path}: no cpu_playouts record to gate playout_lanes against")
+    speedup = summary.get("playout_lanes_speedup_vs_scalar")
+    if speedup is None:
+        fail(f"{path}: summary lacks playout_lanes_speedup_vs_scalar")
+    recomputed = recs[8]["playouts_per_sec"] / scalar["playouts_per_sec"]
+    if abs(recomputed - speedup) > 1e-6 * max(abs(recomputed), abs(speedup)):
+        fail(
+            f"{path}: summary playout_lanes_speedup_vs_scalar {speedup}"
+            f" != lanes-8 / cpu_playouts rate ratio {recomputed}"
+        )
+    if speedup < MIN_PLAYOUT_LANES_SPEEDUP:
+        fail(
+            f"{path}: 8-wide lane batch only {speedup:.2f}x vs scalar"
+            f" playouts (gate: >= {MIN_PLAYOUT_LANES_SPEEDUP}x)"
+        )
+    return speedup
+
+
 def check_host_phases(path, data, summary):
     """host_phases records come in (scheme, layout) pairs over the same
     iteration count and must grow structurally identical trees; the summary
@@ -353,12 +423,14 @@ def check_throughput(path, baseline=None, tolerance=DEFAULT_BASELINE_TOLERANCE):
     sel = check_tree_ops(path, data, summary)
     steady = check_bounded_tree_ops(path, data, summary)
     resident = check_device_tree(path, data, summary)
+    lanes = check_playout_lanes(path, data, summary)
     schemes = check_host_phases(path, data, summary)
     msg = (
         f"check_bench: OK: {path}: engine {speedup:.2f}x vs lockstep,"
         f" SoA select {sel:.2f}x vs AoS,"
         f" bounded steady {steady:.2f}x vs unbounded,"
         f" device tree {resident:.2f}x vs block_parallel,"
+        f" lanes-8 {lanes:.2f}x vs scalar playouts,"
         f" host_phases {', '.join(schemes)}"
     )
     if baseline is not None:
@@ -644,6 +716,7 @@ CHECKS = {
     "profile.json": check_profile,
     "BENCH_throughput.json": check_throughput,
     "fault_matrix.json": check_fault_matrix,
+    "fault_matrix_hex11.json": check_fault_matrix,
     "serve.json": check_serve,
     "fleet.json": check_fleet,
     "divergence_report.txt": check_divergence,
