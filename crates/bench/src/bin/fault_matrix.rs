@@ -4,12 +4,15 @@
 //! mid-game position and asserts graceful degradation: the search must
 //! still produce a best move and the phase ledger must still sum to
 //! `elapsed` exactly. One JSON record per cell carries the standard phase
-//! ledger plus the `FaultCounters` and the chosen move.
+//! ledger plus the `FaultCounters` and the chosen move. The first record
+//! of each artifact is a `roster` meta-record naming every scheme and
+//! fault class; `check_bench.py` validates the grid against it, so the
+//! scheme list lives in exactly one place ([`SCHEMES`]).
 //!
 //! The matrix runs on two games: Reversi (the paper's domain, written to
-//! `fault_matrix.json`, byte-identical to the pre-Hex artifact) and Hex
-//! 11×11 (a branchier, longer game exercising the same fault policies,
-//! written to `fault_matrix_hex11.json`).
+//! `fault_matrix.json`) and Hex 11×11 (a branchier, longer game
+//! exercising the same fault policies, written to
+//! `fault_matrix_hex11.json`).
 //!
 //! The outputs contain no wall-clock fields, so the same (seed, plan) must
 //! produce byte-identical JSON at any `--host-threads` count — the CI
@@ -26,6 +29,23 @@ use pmcts_core::prelude::*;
 use pmcts_gpu_sim::WorkerPool;
 use pmcts_mpi_sim::NetworkModel;
 use std::sync::Arc;
+
+/// The scheme roster, in cell-emission order. This is the single source
+/// of truth: the first record of each artifact carries it (comma-joined)
+/// and `check_bench.py` validates the grid against it, so adding a scheme
+/// here without adding its `run` call (or vice versa) fails both the
+/// in-binary assert and the CI gate.
+const SCHEMES: [&str; 9] = [
+    "leaf_parallel",
+    "block_parallel",
+    "device_tree",
+    "hybrid",
+    "root_parallel",
+    "multi_gpu",
+    "multi_node_cpu",
+    "wu_uct",
+    "pipelined",
+];
 
 /// The fault classes under test. Rates are 1.0 so every applicable cell
 /// genuinely exercises its response policy; classes a scheme has no
@@ -56,10 +76,27 @@ fn matrix_for<G: Game>(args: &BenchArgs, position: G) -> Vec<JsonObject> {
     let pool = Arc::new(WorkerPool::new(host_threads));
     let device = || Device::new(DeviceSpec::tesla_c2050()).with_host_threads(host_threads);
 
+    let classes = fault_classes(args.seed);
     let mut records: Vec<JsonObject> = Vec::new();
-    for (class, plan) in fault_classes(args.seed) {
+    // Roster meta-record first: check_bench.py validates that every listed
+    // class x scheme cell appears exactly once, in this order.
+    records.push(
+        JsonObject::new()
+            .str_field("kind", "roster")
+            .str_field("schemes", &SCHEMES.join(","))
+            .str_field(
+                "fault_classes",
+                &classes
+                    .iter()
+                    .map(|(name, _)| *name)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+    );
+    for (class, plan) in classes {
         let cfg = MctsConfig::default().with_seed(args.seed).with_faults(plan);
-        let mut run = |scheme: &str, searcher: &mut dyn Searcher<G>| {
+        let mut ran: Vec<&'static str> = Vec::new();
+        let mut run = |scheme: &'static str, searcher: &mut dyn Searcher<G>| {
             let r = searcher.search(position, budget);
             let best = r
                 .best_move
@@ -69,6 +106,7 @@ fn matrix_for<G: Game>(args: &BenchArgs, position: G) -> Vec<JsonObject> {
                 r.elapsed,
                 "{scheme}/{class}: phase sum must equal elapsed exactly"
             );
+            ran.push(scheme);
             records.push(
                 phase_record(scheme, &r)
                     .str_field("fault_class", class)
@@ -113,6 +151,19 @@ fn matrix_for<G: Game>(args: &BenchArgs, position: G) -> Vec<JsonObject> {
             "multi_node_cpu",
             &mut MultiNodeCpuSearcher::<G>::new(cfg.clone(), ranks, 2, net),
         );
+        run(
+            // Shared tree, selection corrected by in-flight counts; voided
+            // launches must roll the counts back exactly (DESIGN.md §16).
+            "wu_uct",
+            &mut WuUctSearcher::<G>::new(cfg.clone(), device(), launch),
+        );
+        run(
+            // Faults break the select/kernel overlap: the hung wave resolves
+            // serially, then the pipeline refills (DESIGN.md §16).
+            "pipelined",
+            &mut PipelinedSearcher::<G>::new(cfg.clone(), device(), launch),
+        );
+        assert_eq!(ran, SCHEMES, "{class}: run calls drifted from SCHEMES");
     }
     records
 }
@@ -127,9 +178,10 @@ fn main() {
     let hex_records = matrix_for::<Hex11>(&args, midgame_position_of::<Hex11>(args.seed, 40));
 
     eprintln!(
-        "{} cells per game × 2 games ({} fault classes × 7 schemes), {iters} iterations each",
-        records.len(),
+        "{} cells per game × 2 games ({} fault classes × {} schemes), {iters} iterations each",
+        records.len() - 1,
         fault_classes(args.seed).len(),
+        SCHEMES.len(),
     );
     write_json("fault_matrix", &records, &args);
     write_json("fault_matrix_hex11", &hex_records, &args);

@@ -1,0 +1,176 @@
+//! Playout-efficiency vs throughput frontier: batch width × scheme.
+//!
+//! The paper's block parallelism selects as if in-flight playouts don't
+//! exist, so exploration quality degrades as the batch widens. This
+//! binary charts what each fix buys and what it costs: for every batch
+//! width (blocks of 32 lanes) it runs `block_parallel` (the paper's
+//! scheme), `pipelined` (barrier-free, same selection rule) and `wu_uct`
+//! (one shared tree, selection corrected by in-flight counts, DESIGN.md
+//! §16), measuring both virtual throughput on a fixed mid-game probe and
+//! arena strength against the 1-core sequential baseline at the **same
+//! virtual time per move**.
+//!
+//! The artifact (`frontier.json`) leads with a `roster` meta-record
+//! (schemes, widths) that `check_bench.py check_frontier` validates the
+//! grid against, then one `cell` record per (width, scheme) — the exact
+//! seven-phase ledger of the probe search plus `win_ratio`,
+//! `candidate_sims` and `opponent_sims` from the series — and a `summary`
+//! record with the gate-width comparison. The acceptance gate: at every
+//! width ≥ 64, WU-UCT's win ratio must be ≥ block parallelism's and its
+//! virtual sims/s within 10%. No wall-clock fields: byte-identical at any
+//! `--host-threads` count.
+//!
+//! Run: `cargo run --release -p pmcts-bench --bin frontier -- [--full]`
+//! (`--out DIR` also writes `DIR/frontier.json`).
+
+use pmcts_bench::{midgame_position, phase_record, write_json, BenchArgs, JsonObject};
+use pmcts_core::arena::MatchSeries;
+use pmcts_core::prelude::*;
+
+/// Scheme roster, in cell-emission order (scheme-inner within each width).
+const SCHEMES: [&str; 3] = ["block_parallel", "pipelined", "wu_uct"];
+
+/// Batch widths under test, in blocks of 32 lanes. The strength gate
+/// applies at every width ≥ 64; 16 charts the narrow end of the frontier.
+fn widths(full: bool) -> Vec<u32> {
+    if full {
+        vec![16, 64, 128]
+    } else {
+        vec![16, 64]
+    }
+}
+
+/// Builds one searcher of `scheme` at `launch` geometry.
+fn make_searcher(
+    scheme: &str,
+    seed: u64,
+    launch: LaunchConfig,
+    device: Device,
+) -> Box<dyn Searcher<Reversi>> {
+    let cfg = MctsConfig::default().with_seed(seed);
+    match scheme {
+        "block_parallel" => Box::new(BlockParallelSearcher::<Reversi>::new(cfg, device, launch)),
+        "pipelined" => Box::new(PipelinedSearcher::<Reversi>::new(cfg, device, launch)),
+        "wu_uct" => Box::new(WuUctSearcher::<Reversi>::new(cfg, device, launch)),
+        other => unreachable!("unknown scheme {other}"),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let games = args.games_or(4, 16);
+    // Equal virtual time per move for every entrant; must be a large
+    // multiple of the widest iteration latency or the batched trees stay
+    // degenerate (same constraint as fig6, see EXPERIMENTS.md).
+    let budget_time = SimTime::from_millis(args.move_ms_or(40, 200));
+    let budget = SearchBudget::VirtualTime(budget_time);
+    let host_threads = args.host_threads_or(2);
+    let device = || Device::new(DeviceSpec::tesla_c2050()).with_host_threads(host_threads);
+    let probe = midgame_position(args.seed, 20);
+    let widths = widths(args.full);
+
+    let mut records: Vec<JsonObject> = Vec::new();
+    records.push(
+        JsonObject::new()
+            .str_field("kind", "roster")
+            .str_field("schemes", &SCHEMES.join(","))
+            .str_field(
+                "widths",
+                &widths
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+    );
+
+    // (scheme, width) -> (win_ratio, virtual sims/s) for the summary.
+    let mut measured: Vec<(&str, u32, f64, f64)> = Vec::new();
+    for &w in &widths {
+        let launch = LaunchConfig::new(w, 32);
+        for scheme in SCHEMES {
+            // Throughput probe: one search on the shared mid-game position.
+            let r = make_searcher(scheme, args.seed, launch, device()).search(probe, budget);
+            assert_eq!(
+                r.phases.phase_sum(),
+                r.elapsed,
+                "{scheme} w{w}: phase sum must equal elapsed exactly"
+            );
+            // Strength: the scheme vs 1-core sequential at equal budget.
+            let series = MatchSeries::<Reversi>::run(
+                games,
+                |g| {
+                    Box::new(MctsPlayer::new(
+                        make_searcher(scheme, args.seed.wrapping_add(g), launch, device()),
+                        budget,
+                    ))
+                },
+                |g| {
+                    Box::new(MctsPlayer::new(
+                        SequentialSearcher::<Reversi>::new(
+                            MctsConfig::default().with_seed(args.seed.wrapping_add(1000 + g)),
+                        ),
+                        budget,
+                    ))
+                },
+            );
+            eprintln!(
+                "{scheme:<16} w{w:<4} win ratio {:.3} ({games} games), {:.0} virtual sims/s",
+                series.win_ratio(),
+                r.sims_per_second(),
+            );
+            measured.push((scheme, w, series.win_ratio(), r.sims_per_second()));
+            records.push(
+                phase_record(scheme, &r)
+                    .str_field("kind", "cell")
+                    .u64_field("blocks", u64::from(w))
+                    .u64_field("threads_per_block", 32)
+                    .u64_field("budget_ns", budget_time.as_nanos())
+                    .u64_field("games", games)
+                    .f64_field("win_ratio", series.win_ratio())
+                    .u64_field("candidate_sims", series.simulations[0])
+                    .u64_field("opponent_sims", series.simulations[1]),
+            );
+        }
+    }
+
+    let gate_w = *widths
+        .iter()
+        .filter(|&&w| w >= 64)
+        .max()
+        .expect("a width >= 64");
+    let at = |scheme: &str| {
+        measured
+            .iter()
+            .find(|(s, w, _, _)| *s == scheme && *w == gate_w)
+            .expect("gate-width cell measured")
+    };
+    let (_, _, bp_win, bp_rate) = *at("block_parallel");
+    let (_, _, wu_win, wu_rate) = *at("wu_uct");
+    let (_, _, pl_win, pl_rate) = *at("pipelined");
+    records.push(
+        JsonObject::new()
+            .str_field("kind", "summary")
+            .u64_field("gate_width", u64::from(gate_w))
+            .u64_field("games", games)
+            .u64_field("budget_ns", budget_time.as_nanos())
+            .f64_field("block_parallel_win_ratio", bp_win)
+            .f64_field("pipelined_win_ratio", pl_win)
+            .f64_field("wu_uct_win_ratio", wu_win)
+            .f64_field(
+                "wu_uct_throughput_ratio_vs_block_parallel",
+                wu_rate / bp_rate,
+            )
+            .f64_field(
+                "pipelined_throughput_ratio_vs_block_parallel",
+                pl_rate / bp_rate,
+            ),
+    );
+    eprintln!(
+        "# frontier: at width {gate_w}: wu_uct {wu_win:.3} vs block_parallel {bp_win:.3} \
+         win ratio, {:.3}x throughput; pipelined {pl_win:.3}, {:.3}x",
+        wu_rate / bp_rate,
+        pl_rate / bp_rate,
+    );
+    write_json("frontier", &records, &args);
+}

@@ -15,7 +15,8 @@
 //! ledger, now including the `queue` phase, plus the session's virtual
 //! latency) and one summary record (sessions-per-launch statistics,
 //! aggregate playouts/s batched vs unbatched, and the per-move virtual
-//! latency p50/p95/p99). No wall-clock fields: the same seed must produce
+//! latency `latency_p50_ns`/`latency_p95_ns`/`latency_p99_ns`). No
+//! wall-clock fields: the same seed must produce
 //! byte-identical output at any `--host-threads` count — the CI
 //! determinism gate diffs runs at different counts.
 //!
@@ -32,7 +33,9 @@
 //! rank 0 dies mid-run and its sessions re-place), and `single_device`
 //! (the same nominal load on one shard, the baseline for the fleet
 //! speedup). The artifact (`fleet.json`) carries one record per scenario
-//! — admission/placement telemetry, p50/p99/p999 virtual move latency,
+//! — admission/placement telemetry, virtual move latency tails
+//! `latency_p50_ns`/`latency_p99_ns`/`latency_p999_ns` (note p999, not
+//! the serve summary's p95/p99 pair),
 //! goodput, per-shard sub-records — plus a summary with the
 //! fleet-vs-single-device aggregate throughput ratio. Everything is
 //! virtual time: byte-identical at any `--host-threads`.
@@ -40,20 +43,13 @@
 //! Run: `cargo run --release -p pmcts-bench --bin serve -- --quick
 //! --sessions 1000 --devices 8 --out DIR`.
 
-use pmcts_bench::{midgame_position, phase_record, write_json, BenchArgs, JsonObject};
+use pmcts_bench::{midgame_position, percentile, phase_record, write_json, BenchArgs, JsonObject};
 use pmcts_core::prelude::*;
 use pmcts_util::{Rng64, SplitMix64};
 
 /// Per-session search seed: one fresh stream per (game, ply).
 fn session_seed(base: u64, game: u64, ply: u64) -> u64 {
     SplitMix64::derive(base, (ply << 32) | game).next_u64()
-}
-
-/// Nearest-rank percentile of an ascending-sorted sample.
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    assert!(!sorted.is_empty());
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// One fleet scenario's aggregates, for the cross-scenario summary.
@@ -138,6 +134,11 @@ fn run_scenario(sc: &Scenario, args: &BenchArgs, idx: u64) -> ScenarioOut {
         }
     }
     latencies.sort_unstable();
+    let (latency_p50, latency_p99, latency_p999) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+        percentile(&latencies, 99.9),
+    );
     let makespan = fleet.makespan();
     let virtual_sims_per_sec = sims as f64 / makespan.as_secs_f64().max(f64::MIN_POSITIVE);
 
@@ -199,9 +200,9 @@ fn run_scenario(sc: &Scenario, args: &BenchArgs, idx: u64) -> ScenarioOut {
             "dead_shards",
             shards.iter().filter(|s| s.dead).count() as u64,
         )
-        .u64_field("latency_p50_ns", percentile(&latencies, 50.0))
-        .u64_field("latency_p99_ns", percentile(&latencies, 99.0))
-        .u64_field("latency_p999_ns", percentile(&latencies, 99.9))
+        .u64_field("latency_p50_ns", latency_p50)
+        .u64_field("latency_p99_ns", latency_p99)
+        .u64_field("latency_p999_ns", latency_p999)
         .u64_field("makespan_ns", makespan.as_nanos())
         .u64_field("sims", sims)
         .f64_field("virtual_sims_per_sec", virtual_sims_per_sec)
@@ -216,8 +217,8 @@ fn run_scenario(sc: &Scenario, args: &BenchArgs, idx: u64) -> ScenarioOut {
         stats.rejected,
         stats.replaced,
         completed.len(),
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 99.9),
+        latency_p50,
+        latency_p999,
         makespan.as_nanos(),
     );
     ScenarioOut {

@@ -304,6 +304,17 @@ pub fn write_json(name: &str, records: &[JsonObject], args: &BenchArgs) {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample. `p` is in
+/// percent (`50.0` = median). The rank is clamped into the sample, so
+/// high percentiles on small samples (e.g. `p = 99.9` with ten points)
+/// return the maximum instead of indexing past the end, and `p = 0.0`
+/// returns the minimum.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// A reproducible mid-game Reversi position: `plies` uniformly random moves
 /// from the initial position under `seed`. The speed experiments measure on
 /// mid-game positions because the branching factor (and hence kernel
@@ -357,6 +368,34 @@ mod tests {
             o.render(),
             r#"{"name": "a \"quoted\"\nvalue", "n": 42, "x": 0.5, "bad": 0}"#
         );
+    }
+
+    #[test]
+    fn percentile_single_element_is_that_element_at_any_p() {
+        let s = [42u64];
+        assert_eq!(percentile(&s, 0.0), 42);
+        assert_eq!(percentile(&s, 50.0), 42);
+        assert_eq!(percentile(&s, 99.9), 42);
+        assert_eq!(percentile(&s, 100.0), 42);
+    }
+
+    #[test]
+    fn percentile_high_p_on_small_sample_clamps_to_max() {
+        // ceil(0.999 * 10) = 10 — exactly the last rank, no out-of-bounds.
+        let s: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&s, 99.9), 10);
+        // ceil(0.999 * 2) = 2 on a pair.
+        assert_eq!(percentile(&[3, 7], 99.9), 7);
+        // p = 0 ranks to 0 and clamps up to the minimum.
+        assert_eq!(percentile(&s, 0.0), 1);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_median() {
+        let s: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&s, 50.0), 5);
+        assert_eq!(percentile(&s, 95.0), 10);
+        assert_eq!(percentile(&s, 90.0), 9);
     }
 
     #[test]

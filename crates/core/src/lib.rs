@@ -29,6 +29,13 @@
 //!   search (paper Fig. 8).
 //! * [`multi_gpu`] — root parallelism over MPI ranks, one simulated GPU per
 //!   rank (paper Fig. 9).
+//! * [`wu_uct`] — the exploration-loss fix (DESIGN.md §16): block
+//!   parallelism over **one shared tree**, selection corrected by WU-UCT
+//!   in-flight counts so concurrent batches diversify instead of piling
+//!   onto the uncorrected-UCB maximiser.
+//! * [`pipelined`] — barrier-free block parallelism (DESIGN.md §16):
+//!   select/expand of wave *k* overlaps the in-flight kernel of wave
+//!   *k−1*, priced like [`hybrid`] under the seven-phase ledger.
 //!
 //! Supporting modules: [`tree`] (structure-of-arrays search tree; the
 //! original array-of-structs layout survives in [`tree_aos`] as the
@@ -62,6 +69,7 @@ pub mod leaf_parallel;
 pub mod multi_gpu;
 pub mod multi_node_cpu;
 pub mod persistent;
+pub mod pipelined;
 pub mod player;
 pub mod root_parallel;
 pub mod searcher;
@@ -73,6 +81,7 @@ pub mod tree;
 pub mod tree_aos;
 pub mod tree_parallel;
 pub mod ucb;
+pub mod wu_uct;
 
 /// One-stop imports for applications and benches.
 pub mod prelude {
@@ -90,6 +99,7 @@ pub mod prelude {
     pub use crate::multi_gpu::MultiGpuSearcher;
     pub use crate::multi_node_cpu::MultiNodeCpuSearcher;
     pub use crate::persistent::PersistentSearcher;
+    pub use crate::pipelined::PipelinedSearcher;
     pub use crate::player::{GamePlayer, MctsPlayer, RandomPlayer};
     pub use crate::root_parallel::RootParallelSearcher;
     pub use crate::searcher::{SearchReport, Searcher};
@@ -98,6 +108,7 @@ pub mod prelude {
     pub use crate::telemetry::PhaseBreakdown;
     pub use crate::transposition::{TransStats, TransTable};
     pub use crate::tree_parallel::TreeParallelSearcher;
+    pub use crate::wu_uct::WuUctSearcher;
     pub use pmcts_games::{Connect4, Game, Hex11, Hex7, Outcome, Player, Reversi, TicTacToe};
     pub use pmcts_gpu_sim::{Device, DeviceSpec, LaunchConfig};
     pub use pmcts_mpi_sim::Rank;

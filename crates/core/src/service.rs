@@ -300,6 +300,187 @@ impl<G: Game> SessionEngine<G> for BlockSession<G> {
     }
 }
 
+/// WU-UCT session: **one shared tree**, `B` blocks per round, selection
+/// corrected by in-flight unobserved counts — the service-hosted form of
+/// [`crate::wu_uct::WuUctSearcher`] (host phases shared with it). Between
+/// `begin_round` and `complete_round` the wave's `O` registrations are
+/// live on the tree; `complete_round` rolls them back exactly before
+/// backpropagating, so all counters are zero between rounds.
+struct WuUctSession<G: Game> {
+    config: MctsConfig,
+    tree: SearchTree<G>,
+    rng: Xoshiro256pp,
+    tracker: BudgetTracker,
+    phases: PhaseBreakdown,
+    simulations: u64,
+    blocks: usize,
+    threads_per_block: usize,
+    pending: Option<(BlockFrontier<G>, SimTime)>,
+}
+
+impl<G: Game> SessionEngine<G> for WuUctSession<G> {
+    fn wants_more(&self) -> bool {
+        self.tracker.may_continue()
+    }
+
+    fn begin_round(&mut self) -> Option<PlayoutRequest<G>> {
+        assert!(self.pending.is_none(), "round already begun");
+        if self.tree.is_terminal(self.tree.root()) {
+            return None;
+        }
+        let (frontier, host_cost) = crate::wu_uct::select_wave(
+            &mut self.tree,
+            self.blocks,
+            self.threads_per_block as u32,
+            &mut self.rng,
+            self.config.exploration_c,
+            &self.config.cpu_cost,
+            &mut self.phases,
+        );
+        let positions = frontier.iter().map(|&(_, s, _)| s).collect();
+        self.pending = Some((frontier, host_cost));
+        Some(PlayoutRequest {
+            positions,
+            host_cost,
+        })
+    }
+
+    fn complete_round(&mut self, lanes: &[LaneOutcome], latency: &RoundLatency) {
+        let (frontier, host_cost) = self.pending.take().expect("no round in flight");
+        self.simulations += crate::wu_uct::backprop_wave(
+            &mut self.tree,
+            &frontier,
+            lanes,
+            self.threads_per_block,
+            None,
+            &mut self.phases,
+        );
+        debug_assert_eq!(
+            self.tree.inflight_total(),
+            0,
+            "in-flight residue after round"
+        );
+        self.phases.queue += latency.queue;
+        self.phases.upload += latency.upload;
+        self.phases.kernel += latency.kernel;
+        self.phases.readback += latency.readback;
+        self.phases.kernel_launches += 1;
+        self.tracker.charge(host_cost + latency.total());
+    }
+
+    fn charge_wait(&mut self, wait: SimTime) {
+        self.phases.queue += wait;
+        self.tracker.charge_wait(wait);
+    }
+
+    fn finish(&mut self) -> SearchReport<G::Move> {
+        report_from_trees(
+            &self.config,
+            std::slice::from_ref(&self.tree),
+            &self.tracker,
+            self.simulations,
+            self.phases.clone(),
+        )
+    }
+}
+
+/// Pipelined block-tree session: a [`BlockSession`] with **deferred
+/// backpropagation** — round `k+1`'s selection runs before round `k`'s
+/// outputs are applied, reproducing the pipeline hazard semantics of
+/// [`crate::pipelined::PipelinedSearcher`]. The service's shared device
+/// serialises rounds, so no latency is discounted: charging is identical
+/// to [`BlockSession`] (the `completed_at − admitted_at == elapsed`
+/// invariant is untouched); only the *ordering* of tree updates is
+/// pipelined. `finish` flushes the final deferred wave, so launched work
+/// is never dropped.
+struct PipelinedSession<G: Game> {
+    config: MctsConfig,
+    trees: Vec<SearchTree<G>>,
+    rng: Xoshiro256pp,
+    tracker: BudgetTracker,
+    phases: PhaseBreakdown,
+    simulations: u64,
+    pool: Arc<WorkerPool>,
+    threads_per_block: usize,
+    pending: Option<(BlockFrontier<G>, SimTime)>,
+    /// Last round's frontier + outputs, applied at the *next* round's
+    /// `begin_round` (after its selection) or at `finish`.
+    deferred: Option<(BlockFrontier<G>, Vec<LaneOutcome>)>,
+}
+
+impl<G: Game> PipelinedSession<G> {
+    fn flush_deferred(&mut self) {
+        if let Some((frontier, lanes)) = self.deferred.take() {
+            self.simulations += backprop_outputs(
+                &mut self.trees,
+                &frontier,
+                &lanes,
+                self.threads_per_block,
+                None,
+                &self.pool,
+                &mut self.phases,
+            );
+        }
+    }
+}
+
+impl<G: Game> SessionEngine<G> for PipelinedSession<G> {
+    fn wants_more(&self) -> bool {
+        self.tracker.may_continue()
+    }
+
+    fn begin_round(&mut self) -> Option<PlayoutRequest<G>> {
+        assert!(self.pending.is_none(), "round already begun");
+        if self.trees[0].is_terminal(self.trees[0].root()) {
+            return None;
+        }
+        // Pipeline ordering: select from the trees as they stood before the
+        // previous round's results landed, *then* apply those results.
+        let (frontier, host_cost) = select_and_expand_all(
+            &mut self.trees,
+            &mut self.rng,
+            self.config.exploration_c,
+            &self.config.cpu_cost,
+            &self.pool,
+            &mut self.phases,
+        );
+        self.flush_deferred();
+        let positions = frontier.iter().map(|&(_, s, _)| s).collect();
+        self.pending = Some((frontier, host_cost));
+        Some(PlayoutRequest {
+            positions,
+            host_cost,
+        })
+    }
+
+    fn complete_round(&mut self, lanes: &[LaneOutcome], latency: &RoundLatency) {
+        let (frontier, host_cost) = self.pending.take().expect("no round in flight");
+        self.deferred = Some((frontier, lanes.to_vec()));
+        self.phases.queue += latency.queue;
+        self.phases.upload += latency.upload;
+        self.phases.kernel += latency.kernel;
+        self.phases.readback += latency.readback;
+        self.phases.kernel_launches += 1;
+        self.tracker.charge(host_cost + latency.total());
+    }
+
+    fn charge_wait(&mut self, wait: SimTime) {
+        self.phases.queue += wait;
+        self.tracker.charge_wait(wait);
+    }
+
+    fn finish(&mut self) -> SearchReport<G::Move> {
+        self.flush_deferred();
+        report_from_trees(
+            &self.config,
+            &self.trees,
+            &self.tracker,
+            self.simulations,
+            self.phases.clone(),
+        )
+    }
+}
+
 /// One admitted session's lifecycle record, returned by
 /// [`SearchService::take_completed`].
 #[derive(Clone, Debug)]
@@ -437,6 +618,87 @@ impl<G: Game> SearchService<G> {
             pool: Arc::clone(self.device.worker_pool()),
             threads_per_block: self.threads_per_block as usize,
             pending: None,
+        };
+        self.admit(Box::new(engine), slo)
+    }
+
+    /// Admits a WU-UCT session: **one shared tree**, `blocks` corrected
+    /// selections per round (DESIGN.md §16), searching `root` under
+    /// `budget`.
+    pub fn admit_wu_uct(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+        config: MctsConfig,
+        blocks: u32,
+    ) -> SessionId {
+        self.admit_wu_uct_with_slo(root, budget, config, blocks, None)
+    }
+
+    /// [`Self::admit_wu_uct`] with a latency SLO (see
+    /// [`Self::admit_sequential_with_slo`]).
+    pub fn admit_wu_uct_with_slo(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+        config: MctsConfig,
+        blocks: u32,
+        slo: Option<SimTime>,
+    ) -> SessionId {
+        assert!(blocks >= 1, "WU-UCT session needs ≥ 1 block");
+        let rng = Xoshiro256pp::derive(config.seed, 0xB10C);
+        let engine = WuUctSession {
+            tree: SearchTree::for_config(root, &config),
+            rng,
+            config,
+            tracker: BudgetTracker::new(budget),
+            phases: PhaseBreakdown::new(),
+            simulations: 0,
+            blocks: blocks as usize,
+            threads_per_block: self.threads_per_block as usize,
+            pending: None,
+        };
+        self.admit(Box::new(engine), slo)
+    }
+
+    /// Admits a pipelined block-tree session: `blocks` trees with deferred
+    /// backpropagation — round `k+1` selects before round `k`'s results
+    /// land (DESIGN.md §16) — searching `root` under `budget`.
+    pub fn admit_pipelined(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+        config: MctsConfig,
+        blocks: u32,
+    ) -> SessionId {
+        self.admit_pipelined_with_slo(root, budget, config, blocks, None)
+    }
+
+    /// [`Self::admit_pipelined`] with a latency SLO (see
+    /// [`Self::admit_sequential_with_slo`]).
+    pub fn admit_pipelined_with_slo(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+        config: MctsConfig,
+        blocks: u32,
+        slo: Option<SimTime>,
+    ) -> SessionId {
+        assert!(blocks >= 1, "pipelined session needs ≥ 1 tree");
+        let rng = Xoshiro256pp::derive(config.seed, 0xF1FE);
+        let engine = PipelinedSession {
+            trees: (0..blocks)
+                .map(|_| SearchTree::for_config(root, &config))
+                .collect(),
+            rng,
+            config,
+            tracker: BudgetTracker::new(budget),
+            phases: PhaseBreakdown::new(),
+            simulations: 0,
+            pool: Arc::clone(self.device.worker_pool()),
+            threads_per_block: self.threads_per_block as usize,
+            pending: None,
+            deferred: None,
         };
         self.admit(Box::new(engine), slo)
     }
@@ -766,6 +1028,60 @@ mod tests {
             pps_b >= 1.5 * pps_u,
             "batched {pps_b} playouts/ns should be ≥ 1.5× solo {pps_u}"
         );
+    }
+
+    #[test]
+    fn wu_uct_and_pipelined_sessions_complete_with_exact_ledgers() {
+        let mut svc = SearchService::<Reversi>::new(device(), 32, 11);
+        svc.admit_wu_uct(Reversi::initial(), SearchBudget::Iterations(4), cfg(1), 4);
+        svc.admit_pipelined(Reversi::initial(), SearchBudget::Iterations(4), cfg(2), 4);
+        svc.admit_block(Reversi::initial(), SearchBudget::Iterations(4), cfg(3), 4);
+        svc.run_to_completion();
+        let done = svc.take_completed();
+        assert_eq!(done.len(), 3);
+        for c in &done {
+            // Every scheme ran all 4 rounds of 4 blocks × 32 lanes (the
+            // pipelined session's last wave flushes at finish).
+            assert_eq!(c.report.iterations, 4, "session {}", c.id);
+            assert_eq!(c.report.simulations, 4 * 4 * 32, "session {}", c.id);
+            assert_eq!(
+                c.report.phases.phase_sum(),
+                c.report.elapsed,
+                "session {} ledger must sum exactly",
+                c.id
+            );
+            assert_eq!(c.completed_at - c.admitted_at, c.report.elapsed);
+        }
+    }
+
+    #[test]
+    fn wu_uct_session_shares_one_tree() {
+        // B blocks deepening one corrected tree: strictly more nodes per
+        // round land in a single tree than any one of a block session's
+        // B independent trees receives.
+        let mut svc = SearchService::<Reversi>::new(device(), 32, 12);
+        let id = svc.admit_wu_uct(Reversi::initial(), SearchBudget::Iterations(6), cfg(4), 8);
+        svc.run_to_completion();
+        let done = svc.take_completed();
+        let c = done.iter().find(|c| c.id == id).unwrap();
+        // One shared tree: root + one expansion per block per round.
+        assert_eq!(c.report.tree_nodes, 1 + 6 * 8);
+    }
+
+    #[test]
+    fn new_engines_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut svc = SearchService::<Reversi>::new(device(), 32, seed);
+            svc.admit_wu_uct(Reversi::initial(), SearchBudget::Iterations(5), cfg(21), 4);
+            svc.admit_pipelined(Reversi::initial(), SearchBudget::Iterations(5), cfg(22), 4);
+            svc.run_to_completion();
+            svc.take_completed()
+                .into_iter()
+                .map(|c| c.report.root_stats)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
     }
 
     #[test]

@@ -30,7 +30,7 @@
 
 use crate::config::{FinalMoveRule, MctsConfig};
 use crate::transposition::{TransStats, TransTable};
-use crate::ucb::ucb1_with_ln;
+use crate::ucb::{ucb1_corrected_with_ln, ucb1_with_ln};
 use pmcts_games::{Game, MoveBuf, Player};
 use pmcts_util::Rng64;
 
@@ -169,6 +169,10 @@ pub struct SearchTree<G: Game> {
     // Hot columns: everything a UCB selection walk reads.
     visits: Vec<u64>,
     wins: Vec<f64>,
+    /// WU-UCT unobserved in-flight sample counts (`O_s` / `O_sa`): playouts
+    /// dispatched through this node but not yet backpropagated. Zero except
+    /// while a corrected searcher has a batch in flight; zero between moves.
+    inflight: Vec<u32>,
     child_first: Vec<u32>,
     child_len: Vec<u16>,
     untried_len: Vec<u16>,
@@ -193,6 +197,7 @@ impl<G: Game> SearchTree<G> {
         SearchTree {
             visits: Vec::new(),
             wins: Vec::new(),
+            inflight: Vec::new(),
             child_first: Vec::new(),
             child_len: Vec::new(),
             untried_len: Vec::new(),
@@ -235,6 +240,7 @@ impl<G: Game> SearchTree<G> {
         let mut tree = Self::empty(Some(Box::new(Bounded::new(max_nodes))));
         tree.visits.reserve_exact(n);
         tree.wins.reserve_exact(n);
+        tree.inflight.reserve_exact(n);
         tree.child_first.reserve_exact(n);
         tree.child_len.reserve_exact(n);
         tree.untried_len.reserve_exact(n);
@@ -275,6 +281,7 @@ impl<G: Game> SearchTree<G> {
         self.move_slab.extend_from_slice(legal.as_slice());
         self.visits.push(0);
         self.wins.push(0.0);
+        self.inflight.push(0);
         self.child_first.push(child_first);
         self.child_len.push(0);
         self.untried_len.push(n as u16);
@@ -317,6 +324,7 @@ impl<G: Game> SearchTree<G> {
                 let id = self.visits.len() as NodeId;
                 self.visits.push(0);
                 self.wins.push(0.0);
+                self.inflight.push(0);
                 self.child_first.push(0);
                 self.child_len.push(0);
                 self.untried_len.push(0);
@@ -346,6 +354,7 @@ impl<G: Game> SearchTree<G> {
             .copy_from_slice(legal.as_slice());
         self.visits[i] = 0;
         self.wins[i] = 0.0;
+        self.inflight[i] = 0;
         self.child_first[i] = child_first;
         self.child_len[i] = 0;
         self.untried_len[i] = n as u16;
@@ -395,8 +404,12 @@ impl<G: Game> SearchTree<G> {
                 "no evictable node: tree capacity too small for the current search path"
             );
             let v = victim as usize;
+            // `inflight > 0` pins a node just like the selection path does:
+            // a playout batch is standing on it and its rollback/backprop
+            // must find the node (and its slot) intact.
             if self.child_len[v] == 0
                 && self.parent[v] != NO_NODE
+                && self.inflight[v] == 0
                 && !on_path(&self.parent, victim, pinned)
             {
                 break;
@@ -461,8 +474,12 @@ impl<G: Game> SearchTree<G> {
         self.move_slab
             .resize(self.move_slab.len() + (cap - untried), G::Move::default());
         let depth = self.depth[parent as usize] + 1;
+        // In-flight counts never survive a copy: subtree extraction happens
+        // between moves, when every batch has been backpropagated.
+        debug_assert_eq!(src.inflight[s], 0, "extract_subtree with a batch in flight");
         self.visits.push(src.visits[s]);
         self.wins.push(src.wins[s]);
+        self.inflight.push(0);
         self.child_first.push(child_first);
         self.child_len.push(0);
         self.untried_len.push(untried as u16);
@@ -623,6 +640,59 @@ impl<G: Game> SearchTree<G> {
         *v = v.saturating_sub(n);
     }
 
+    /// WU-UCT unobserved in-flight count at `id` (0 unless a corrected
+    /// searcher currently has a batch registered through the node).
+    #[inline]
+    pub fn inflight(&self, id: NodeId) -> u32 {
+        self.inflight[id as usize]
+    }
+
+    /// Total in-flight count over the whole arena. Must be 0 whenever no
+    /// batch is in flight — the residue invariant the WU-UCT tests pin.
+    pub fn inflight_total(&self) -> u64 {
+        self.inflight.iter().map(|&o| o as u64).sum()
+    }
+
+    /// Registers `n` unobserved in-flight playouts on `from` and every
+    /// ancestor up to the root — the WU-UCT `O` increment performed when a
+    /// batch is dispatched from `from`. Deliberately does *not* touch the
+    /// LRU clock: registration is scheduling state, not a statistic, and
+    /// eviction already skips any node with `inflight > 0`.
+    pub fn add_inflight_path(&mut self, from: NodeId, n: u32) {
+        let mut id = from;
+        loop {
+            self.inflight[id as usize] += n;
+            match self.parent[id as usize] {
+                NO_NODE => return,
+                p => id = p,
+            }
+        }
+    }
+
+    /// Rolls back [`Self::add_inflight_path`]: removes `n` in-flight
+    /// playouts from `from` and every ancestor. Called exactly once per
+    /// dispatched batch — when its results backpropagate, when its launch
+    /// is voided by a fault, or before degraded CPU fallback playouts.
+    ///
+    /// Saturates at zero like [`Self::sub_visits`]: an unbalanced rollback
+    /// is a caller bug (caught by the debug assertion), but a wrapped count
+    /// must never poison subsequent corrected-UCB comparisons.
+    pub fn sub_inflight_path(&mut self, from: NodeId, n: u32) {
+        let mut id = from;
+        loop {
+            let o = &mut self.inflight[id as usize];
+            debug_assert!(
+                *o >= n,
+                "sub_inflight_path underflow: removing {n} but only {o} in flight"
+            );
+            *o = o.saturating_sub(n);
+            match self.parent[id as usize] {
+                NO_NODE => return,
+                p => id = p,
+            }
+        }
+    }
+
     /// MCTS **selection** (paper §II.1): descends from the root choosing
     /// UCB-maximal children while nodes are fully expanded, returning the
     /// first node that still has untried moves (or a terminal node).
@@ -654,6 +724,51 @@ impl<G: Game> SearchTree<G> {
                     !value.is_nan(),
                     "non-finite UCB for node {child}: visits={}, wins={}",
                     self.visits[c],
+                    self.wins[c]
+                );
+                if value > best_value {
+                    best_value = value;
+                    best = child;
+                }
+            }
+            id = best;
+        }
+    }
+
+    /// WU-UCT selection: the same descent as [`Self::select`], scoring
+    /// children with [`ucb1_corrected_with_ln`] so unobserved in-flight
+    /// playouts (`inflight`) count as samples in both the exploitation
+    /// denominator and the `ln(T + O)` term. With every `inflight` zero the
+    /// arithmetic is bit-identical to `select` — the expressions collapse
+    /// to the uncorrected ones — so a width-1 corrected search replays the
+    /// plain UCB search exactly.
+    pub fn select_corrected(&self, exploration_c: f64) -> NodeId {
+        let mut id = self.root();
+        loop {
+            let i = id as usize;
+            let n_children = self.child_len[i] as usize;
+            if self.untried_len[i] != 0 || n_children == 0 {
+                return id;
+            }
+            let first = self.child_first[i] as usize;
+            let children = &self.child_slab[first..first + n_children];
+            let ln_parent = ((self.visits[i] + self.inflight[i] as u64).max(1) as f64).ln();
+            let mut best = children[0];
+            let mut best_value = f64::NEG_INFINITY;
+            for &child in children {
+                let c = child as usize;
+                let value = ucb1_corrected_with_ln(
+                    ln_parent,
+                    self.visits[c],
+                    self.inflight[c] as u64,
+                    self.wins[c],
+                    exploration_c,
+                );
+                assert!(
+                    !value.is_nan(),
+                    "non-finite corrected UCB for node {child}: visits={}, inflight={}, wins={}",
+                    self.visits[c],
+                    self.inflight[c],
                     self.wins[c]
                 );
                 if value > best_value {

@@ -1,0 +1,458 @@
+//! WU-UCT: block-parallel search with the "Watch the Unobserved"
+//! correction (Liu et al., PAPERS.md) — the fix for parallel-search
+//! exploration loss.
+//!
+//! Plain block parallelism grows `B` *independent* trees precisely because
+//! a shared tree selected with uncorrected UCB would send every batch of a
+//! wave down the same maximal path: selection acts as if the playouts
+//! already dispatched do not exist. WU-UCT repairs that by tracking
+//! **unobserved in-flight counts** `O` on the tree: each dispatched batch
+//! registers its size on every node of its selection path, and selection
+//! scores children with [`ucb1_corrected_with_ln`] — `N + O` in both the
+//! exploitation denominator and the `ln(T + O)` term — so an in-flight
+//! batch discounts its own path exactly as if its samples had landed with
+//! unknown outcome.
+//!
+//! This searcher therefore runs **one shared tree**: per wave it performs
+//! `B` corrected selections *sequentially in block order* (block `b` sees
+//! the `O` registered by blocks `0..b` of the same wave — in-flight
+//! membership is a pure function of the launch schedule, never of thread
+//! timing), expands each frontier, launches one kernel with block `b`
+//! simulating frontier `b`, and on readback rolls every block's `O` back
+//! exactly before backpropagating its outcomes. The shared tree receives
+//! `B` diversified updates per wave instead of one per private tree, which
+//! buys back the exploration that width otherwise destroys (charted by the
+//! `frontier` bench).
+//!
+//! At `B = 1` no selection ever observes a nonzero `O` (a wave's counts
+//! are registered after its own selection and rolled back before the
+//! next), the corrected arithmetic collapses bit-for-bit to plain UCB, and
+//! the whole report is bit-identical to [`BlockParallelSearcher`]'s — the
+//! zero-width oracle the tests pin.
+//!
+//! Fault ladder (same as block parallelism): a hung kernel is charged to
+//! its hang deadline and retried once; a second hang degrades the wave to
+//! one CPU playout per block. A `BlockAbort` voids the aborted block's
+//! backpropagation. In every case — clean, voided, or degraded — each
+//! block's in-flight registration is rolled back exactly once, so all `O`
+//! counters are zero after every wave (the residue invariant).
+//!
+//! [`BlockParallelSearcher`]: crate::block_parallel::BlockParallelSearcher
+//! [`ucb1_corrected_with_ln`]: crate::ucb::ucb1_corrected_with_ln
+
+use crate::config::{MctsConfig, SearchBudget};
+use crate::cost::CpuCostModel;
+use crate::gpu::{aggregate, LaneOutcome, PlayoutKernel};
+use crate::searcher::{BudgetTracker, SearchReport, Searcher};
+use crate::telemetry::PhaseBreakdown;
+use crate::tree::SearchTree;
+use pmcts_games::{random_playout, Game, Player};
+use pmcts_gpu_sim::{Device, GpuFault, LaunchConfig};
+use pmcts_util::{Rng64, SimTime, Xoshiro256pp};
+
+/// WU-UCT searcher: one shared tree, `B` in-flight batches per wave,
+/// selection corrected by unobserved counts.
+#[derive(Clone, Debug)]
+pub struct WuUctSearcher<G: Game> {
+    config: MctsConfig,
+    device: Device,
+    launch: LaunchConfig,
+    stream: u64,
+    rng: Xoshiro256pp,
+    epoch: u64,
+    _game: std::marker::PhantomData<fn() -> G>,
+}
+
+impl<G: Game> WuUctSearcher<G> {
+    /// Creates a WU-UCT searcher with `launch.blocks` in-flight batches of
+    /// `launch.threads_per_block` playouts per wave, all on one tree.
+    pub fn new(config: MctsConfig, device: Device, launch: LaunchConfig) -> Self {
+        Self::with_stream(config, device, launch, 0)
+    }
+
+    /// Like [`new`](Self::new) but on RNG sub-stream `stream`. The
+    /// derivation matches [`BlockParallelSearcher`] exactly so the width-1
+    /// oracle equivalence holds bit-for-bit.
+    ///
+    /// [`BlockParallelSearcher`]: crate::block_parallel::BlockParallelSearcher
+    pub fn with_stream(
+        config: MctsConfig,
+        device: Device,
+        launch: LaunchConfig,
+        stream: u64,
+    ) -> Self {
+        let rng = Xoshiro256pp::derive(config.seed, 0xB10C ^ stream);
+        WuUctSearcher {
+            config,
+            device,
+            launch,
+            stream,
+            rng,
+            epoch: 0,
+            _game: std::marker::PhantomData,
+        }
+    }
+
+    /// The launch geometry (blocks = concurrent in-flight batches).
+    pub fn launch_config(&self) -> LaunchConfig {
+        self.launch
+    }
+
+    fn next_stream_seed(&mut self) -> u64 {
+        self.epoch += 1;
+        self.config
+            .seed
+            .wrapping_add(self.stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(self.epoch.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Runs the search, returning the shared tree for callers that need it
+    /// (the residue tests). Public API users call `Searcher::search`.
+    pub(crate) fn search_tree(
+        &mut self,
+        root: G,
+        budget: SearchBudget,
+    ) -> (SearchTree<G>, BudgetTracker, u64, PhaseBreakdown) {
+        let blocks = self.launch.blocks as usize;
+        let tpb = self.launch.threads_per_block as usize;
+        let mut tree = SearchTree::for_config(root, &self.config);
+        let mut tracker = BudgetTracker::new(budget);
+        let mut phases = PhaseBreakdown::new();
+        let mut simulations = 0u64;
+        let cpu = self.config.cpu_cost;
+        let exploration_c = self.config.exploration_c;
+
+        if tree.is_terminal(tree.root()) {
+            return (tree, tracker, 0, phases);
+        }
+
+        let plan = self.config.faults;
+        while tracker.may_continue() {
+            let mut iter_cost = SimTime::ZERO;
+            let (frontier, host_cost) = select_wave(
+                &mut tree,
+                blocks,
+                tpb as u32,
+                &mut self.rng,
+                exploration_c,
+                &cpu,
+                &mut phases,
+            );
+            iter_cost += host_cost;
+
+            // One launch simulates every batch's frontier node. A hang is
+            // retried once; a second hang degrades the wave to one CPU
+            // playout per block — after rolling the in-flight counts back.
+            let mut retried = false;
+            loop {
+                let kernel = PlayoutKernel::new(
+                    frontier.iter().map(|&(_, s, _)| s).collect(),
+                    self.next_stream_seed(),
+                );
+                let fault = plan.gpu_fault(self.stream, self.epoch, self.launch.blocks);
+                let upload = self.device.spec().transfer_time(kernel.upload_bytes());
+                let result = self.device.launch_with_fault(&kernel, self.launch, fault);
+                phases.upload += cpu.launch_prep + upload;
+                iter_cost += cpu.launch_prep + upload;
+
+                if result.fault == GpuFault::Hang {
+                    let deadline = plan.hang_deadline(result.stats.elapsed());
+                    phases.kernel += deadline;
+                    iter_cost += deadline;
+                    phases.faults.injected += 1;
+                    if !retried {
+                        retried = true;
+                        phases.faults.retried += 1;
+                        continue;
+                    }
+                    // Degraded mode: the dispatched batches are lost, so
+                    // their unobserved counts roll back first; each block
+                    // then contributes one CPU playout from its frontier.
+                    for &(node, _, _) in &frontier {
+                        tree.sub_inflight_path(node, tpb as u32);
+                    }
+                    for &(node, state, _) in &frontier {
+                        let playout = random_playout(state, &mut self.rng);
+                        let cost = cpu.playout(playout.plies);
+                        phases.kernel += cost;
+                        iter_cost += cost;
+                        tree.backprop(node, playout.reward_for(Player::P1), 1);
+                        simulations += 1;
+                        phases.simulations += 1;
+                        phases.faults.degraded += 1;
+                    }
+                    break;
+                }
+
+                let voided = match result.fault {
+                    GpuFault::BlockAbort(bad) => {
+                        phases.faults.injected += 1;
+                        phases.faults.degraded += 1;
+                        Some(bad as usize)
+                    }
+                    fault => {
+                        if fault != GpuFault::None {
+                            phases.faults.injected += 1;
+                        }
+                        None
+                    }
+                };
+
+                simulations += backprop_wave(
+                    &mut tree,
+                    &frontier,
+                    &result.outputs,
+                    tpb,
+                    voided,
+                    &mut phases,
+                );
+
+                phases.kernel += result.stats.launch_overhead + result.stats.device_time;
+                phases.readback += result.stats.readback_time;
+                iter_cost += result.stats.elapsed();
+                phases.record_launch(&result.stats);
+                break;
+            }
+
+            tracker.charge(iter_cost);
+        }
+
+        debug_assert_eq!(tree.inflight_total(), 0, "in-flight residue after search");
+        (tree, tracker, simulations, phases)
+    }
+}
+
+/// The host half of one WU-UCT wave: `B` corrected selections in block
+/// order on the shared tree, each expansion followed by registering the
+/// batch's `tpb` unobserved playouts on its path — so block `b`'s
+/// selection is discounted by the `O` of blocks `0..b`. Returns each
+/// batch's frontier `(node, state, depth)` plus the summed host tree-op
+/// cost, charged exactly like block parallelism's host phase.
+///
+/// The loop is deliberately sequential: each selection *depends* on the
+/// previous registrations, which is what makes in-flight membership a pure
+/// function of the schedule (and host-thread independence trivial).
+///
+/// Shared with the multi-session search service (one wave per batched
+/// launch).
+pub(crate) fn select_wave<G: Game>(
+    tree: &mut SearchTree<G>,
+    blocks: usize,
+    tpb: u32,
+    rng: &mut Xoshiro256pp,
+    exploration_c: f64,
+    cpu: &CpuCostModel,
+    phases: &mut PhaseBreakdown,
+) -> (Vec<(u32, G, u32)>, SimTime) {
+    let mut frontier: Vec<(u32, G, u32)> = Vec::with_capacity(blocks);
+    let mut host_cost = SimTime::ZERO;
+    for _ in 0..blocks {
+        let sel = tree.select_corrected(exploration_c);
+        let node = if tree.untried_len(sel) != 0 {
+            phases.expansions += 1;
+            let pick = rng.next_below(tree.untried_len(sel) as u32);
+            tree.expand_with_pick(sel, pick)
+        } else {
+            sel
+        };
+        tree.add_inflight_path(node, tpb);
+        let depth = tree.depth(node);
+        host_cost += cpu.tree_op(depth);
+        phases.select += cpu.select_cost(depth);
+        phases.expand += cpu.expand_cost();
+        frontier.push((node, *tree.state(node), depth));
+    }
+    (frontier, host_cost)
+}
+
+/// The readback half of one WU-UCT wave: every block's in-flight
+/// registration is rolled back exactly once (voided blocks included — a
+/// voided launch still retires its unobserved counts), then each
+/// non-voided block's `tpb` lanes aggregate and backpropagate into the
+/// shared tree. Returns the simulations credited.
+pub(crate) fn backprop_wave<G: Game>(
+    tree: &mut SearchTree<G>,
+    frontier: &[(u32, G, u32)],
+    outputs: &[LaneOutcome],
+    tpb: usize,
+    voided: Option<usize>,
+    phases: &mut PhaseBreakdown,
+) -> u64 {
+    let mut total = 0u64;
+    for (b, &(node, _, _)) in frontier.iter().enumerate() {
+        tree.sub_inflight_path(node, tpb as u32);
+        if Some(b) == voided {
+            continue;
+        }
+        let lanes = &outputs[b * tpb..(b + 1) * tpb];
+        let (wins_p1, n) = aggregate(lanes);
+        tree.backprop(node, wins_p1, n);
+        total += n;
+        phases.simulations += n;
+    }
+    total
+}
+
+impl<G: Game> Searcher<G> for WuUctSearcher<G> {
+    fn search(&mut self, root: G, budget: SearchBudget) -> SearchReport<G::Move> {
+        let (tree, tracker, sims, phases) = self.search_tree(root, budget);
+        crate::block_parallel::report_from_trees(
+            &self.config,
+            std::slice::from_ref(&tree),
+            &tracker,
+            sims,
+            phases,
+        )
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "WU-UCT ({} batches × {} threads, shared tree)",
+            self.launch.blocks, self.launch.threads_per_block
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_parallel::BlockParallelSearcher;
+    use pmcts_games::{Reversi, TicTacToe};
+    use pmcts_gpu_sim::DeviceSpec;
+    use pmcts_util::FaultPlan;
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::tesla_c2050())
+    }
+
+    fn cfg(seed: u64) -> MctsConfig {
+        MctsConfig::default().with_seed(seed)
+    }
+
+    #[test]
+    fn zero_width_oracle_matches_block_parallel_bit_identically() {
+        // At one block no selection ever sees a nonzero O, so the corrected
+        // search must replay plain block parallelism — the full report,
+        // virtual times included, compared field for field.
+        for seed in [1u64, 9, 77] {
+            let launch = LaunchConfig::new(1, 32);
+            let wu = WuUctSearcher::<Reversi>::new(cfg(seed), device(), launch)
+                .search(Reversi::initial(), SearchBudget::Iterations(20));
+            let block = BlockParallelSearcher::<Reversi>::new(cfg(seed), device(), launch)
+                .search(Reversi::initial(), SearchBudget::Iterations(20));
+            assert_eq!(
+                wu, block,
+                "width-1 WU-UCT diverged from plain UCB (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn simulations_equal_grid_times_iterations() {
+        let mut s = WuUctSearcher::<Reversi>::new(cfg(1), device(), LaunchConfig::new(4, 32));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(5));
+        assert_eq!(r.iterations, 5);
+        assert_eq!(r.simulations, 5 * 4 * 32);
+        // One shared tree: root + one expansion per block per wave.
+        assert_eq!(r.tree_nodes, 1 + 20);
+    }
+
+    #[test]
+    fn no_inflight_residue_and_visits_account_exactly() {
+        // Mirrors tree parallelism's `no_virtual_loss_residue`: after the
+        // search every O counter is zero and the root mass equals the
+        // simulations — in-flight corrections never leak into statistics.
+        let mut s = WuUctSearcher::<Reversi>::new(cfg(2), device(), LaunchConfig::new(8, 32));
+        let (tree, _, sims, _) = s.search_tree(Reversi::initial(), SearchBudget::Iterations(50));
+        assert_eq!(tree.inflight_total(), 0, "unobserved counts leaked");
+        assert_eq!(tree.visits(tree.root()), sims);
+        let root_mass: u64 = tree.root_stats().iter().map(|st| st.visits).sum();
+        assert_eq!(root_mass, sims);
+    }
+
+    #[test]
+    fn no_inflight_residue_under_faults() {
+        // Every fault path — hang-retry, degraded CPU playouts, voided
+        // blocks — must roll registrations back exactly once.
+        let plans = [
+            FaultPlan::gpu_hang(11, 1.0),
+            FaultPlan::gpu_abort(12, 1.0),
+            FaultPlan::gpu_slowdown(13, 1.0, 3),
+        ];
+        for plan in plans {
+            let mut s = WuUctSearcher::<Reversi>::new(
+                cfg(3).with_faults(plan),
+                device(),
+                LaunchConfig::new(4, 32),
+            );
+            let (tree, _, _, phases) =
+                s.search_tree(Reversi::initial(), SearchBudget::Iterations(8));
+            assert!(phases.faults.injected > 0, "plan must actually fire");
+            assert_eq!(tree.inflight_total(), 0, "fault path leaked O counts");
+        }
+    }
+
+    #[test]
+    fn waves_diversify_the_frontier() {
+        // The point of the correction: within one wave the B batches spread
+        // over distinct root children instead of piling onto one path. With
+        // 4 opening moves and 8 blocks, the very first wave must already
+        // touch all 4 (untried moves are consumed first and O discounts the
+        // rest).
+        let mut s = WuUctSearcher::<Reversi>::new(cfg(4), device(), LaunchConfig::new(8, 32));
+        let r = s.search(Reversi::initial(), SearchBudget::Iterations(1));
+        let explored = r.root_stats.iter().filter(|st| st.visits > 0).count();
+        assert_eq!(explored, 4, "first wave failed to diversify");
+    }
+
+    #[test]
+    fn shared_tree_grows_deeper_than_independent_trees() {
+        // Equal budget, equal width: B batches deepening one tree reach
+        // further than B private trees each deepening alone.
+        let launch = LaunchConfig::new(32, 32);
+        let budget = SearchBudget::Iterations(30);
+        let wu = WuUctSearcher::<Reversi>::new(cfg(5), device(), launch)
+            .search(Reversi::initial(), budget);
+        let block = BlockParallelSearcher::<Reversi>::new(cfg(5), device(), launch)
+            .search(Reversi::initial(), budget);
+        assert!(
+            wu.max_depth > block.max_depth,
+            "shared corrected tree depth {} should beat private trees' {}",
+            wu.max_depth,
+            block.max_depth
+        );
+    }
+
+    #[test]
+    fn bounded_capacity_is_respected_with_batches_in_flight() {
+        let mut s = WuUctSearcher::<Reversi>::new(
+            cfg(6).with_tree_capacity(64),
+            device(),
+            LaunchConfig::new(8, 32),
+        );
+        let (tree, _, _, _) = s.search_tree(Reversi::initial(), SearchBudget::Iterations(60));
+        assert!(tree.live_nodes() <= 64, "arena exceeded its cap");
+        assert!(tree.evictions() > 0, "test must actually churn the arena");
+        assert_eq!(tree.inflight_total(), 0);
+        tree.debug_validate();
+    }
+
+    #[test]
+    fn finds_tactical_move() {
+        let s = TicTacToe::parse("XX. OO. ...", pmcts_games::Player::P1).unwrap();
+        let mut searcher =
+            WuUctSearcher::<TicTacToe>::new(cfg(7), device(), LaunchConfig::new(4, 32));
+        let r = searcher.search(s, SearchBudget::Iterations(40));
+        assert_eq!(r.best_move, Some(2));
+    }
+
+    #[test]
+    fn terminal_root_is_handled() {
+        let s = TicTacToe::parse("XXX OO. ...", pmcts_games::Player::P2).unwrap();
+        let mut searcher =
+            WuUctSearcher::<TicTacToe>::new(cfg(8), device(), LaunchConfig::new(2, 32));
+        let r = searcher.search(s, SearchBudget::Iterations(5));
+        assert_eq!(r.best_move, None);
+        assert_eq!(r.simulations, 0);
+    }
+}

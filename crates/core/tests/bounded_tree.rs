@@ -204,6 +204,70 @@ proptest! {
         prop_assert_eq!(tree.visits(tree.root()), iters as u64);
     }
 
+    /// WU-UCT pinning (DESIGN.md §16): a node carrying unobserved
+    /// in-flight samples (`O > 0`) — and its whole registration path — is
+    /// never evicted or recycled, however hard the arena churns around it.
+    /// After the batch rolls back, every counter is zero and the arena is
+    /// structurally sound.
+    #[test]
+    fn eviction_skips_nodes_with_inflight_samples(
+        seed in any::<u64>(),
+        cap in 16u32..96,
+    ) {
+        let mut tree = SearchTree::bounded(Reversi::initial(), cap);
+        let mut rng = Xoshiro256pp::new(seed);
+        // Grow a little, then register a 32-lane batch in flight on the
+        // current selection path.
+        for i in 0..12 {
+            let sel = tree.select(1.4);
+            let node = if !tree.fully_expanded(sel) {
+                tree.expand(sel, &mut rng)
+            } else {
+                sel
+            };
+            tree.backprop(node, (i % 3) as f64 / 2.0, 1);
+        }
+        let pinned_node = {
+            let sel = tree.select_corrected(1.4);
+            if !tree.fully_expanded(sel) {
+                tree.expand(sel, &mut rng)
+            } else {
+                sel
+            }
+        };
+        tree.add_inflight_path(pinned_node, 32);
+        let pinned_state = *tree.state(pinned_node);
+        // Churn the arena well past its capacity with the batch still in
+        // flight.
+        for i in 0..(cap as usize * 2 + 50) {
+            let sel = tree.select_corrected(1.4);
+            let node = if !tree.fully_expanded(sel) {
+                tree.expand(sel, &mut rng)
+            } else {
+                sel
+            };
+            tree.backprop(node, (i % 3) as f64 / 2.0, 1);
+            prop_assert!(tree.len() <= cap as usize, "arena exceeded cap");
+            // The registered path is alive and untouched: same state, O
+            // intact on every ancestor, still linked to the root.
+            prop_assert_eq!(tree.inflight(pinned_node), 32);
+            prop_assert_eq!(tree.state(pinned_node), &pinned_state);
+            let mut cur = pinned_node;
+            while let Some(p) = tree.parent(cur) {
+                prop_assert_eq!(tree.inflight(p), 32, "ancestor lost its registration");
+                prop_assert!(tree.children(p).contains(&cur), "in-flight path unlinked");
+                cur = p;
+            }
+            prop_assert_eq!(cur, tree.root(), "in-flight path detached from the root");
+        }
+        prop_assert!(tree.evictions() > 0, "test must actually churn the arena");
+        // Roll the batch back: counters hit zero exactly and the freed
+        // path becomes evictable again without structural damage.
+        tree.sub_inflight_path(pinned_node, 32);
+        prop_assert_eq!(tree.inflight_total(), 0);
+        tree.debug_validate();
+    }
+
     /// Statistics conservation at the root: eviction loses tree structure
     /// below, never backpropagated results. Each iteration adds exactly one
     /// visit through one root child, and transposition recovery can only

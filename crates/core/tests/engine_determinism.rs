@@ -343,6 +343,165 @@ fn bounded_hybrid_identical_across_host_threads() {
     });
 }
 
+// ---- 2b. WU-UCT and pipelined block-parallel (DESIGN.md §16) -------------
+
+/// The canonical report fingerprint used by the pinned determinism tests:
+/// best move, simulation/iteration counts, virtual elapsed nanoseconds and
+/// the root-stat sums (wins bit-exact).
+fn report_fingerprint(r: &SearchReport<pmcts_games::ReversiMove>) -> String {
+    let visits: u64 = r.root_stats.iter().map(|s| s.visits).sum();
+    let wins: f64 = r.root_stats.iter().map(|s| s.wins).sum();
+    format!(
+        "{:?}/s{}/i{}/e{}/v{}/w{}",
+        r.best_move,
+        r.simulations,
+        r.iterations,
+        r.elapsed.as_nanos(),
+        visits,
+        wins.to_bits()
+    )
+}
+
+/// [`assert_reports_identical`] plus a pinned fingerprint: the WU-UCT
+/// in-flight bookkeeping must neither see host-thread identity *nor* drift
+/// across future changes (in-flight membership is part of the canonical
+/// schedule now).
+fn assert_identical_and_pinned<F>(what: &str, budget: SearchBudget, pin: &str, mut build: F)
+where
+    F: FnMut(usize) -> Box<dyn Searcher<Reversi>>,
+{
+    let mut got = None;
+    assert_reports_identical(what, budget, |t| {
+        let searcher = build(t);
+        if got.is_none() {
+            let r = build(t).search(Reversi::initial(), budget);
+            got = Some(report_fingerprint(&r));
+        }
+        searcher
+    });
+    assert_eq!(
+        got.as_deref(),
+        Some(pin),
+        "{what}: pinned fingerprint drifted"
+    );
+}
+
+#[test]
+fn wu_uct_identical_across_host_threads_and_pinned() {
+    assert_identical_and_pinned(
+        "wu-uct",
+        SearchBudget::Iterations(6),
+        "Some(ReversiMove(44))/s768/i6/e4725085/v768/w4645049599260622848",
+        |t| {
+            Box::new(WuUctSearcher::new(
+                cfg(61),
+                device(t),
+                LaunchConfig::new(4, 32),
+            ))
+        },
+    );
+}
+
+#[test]
+fn wu_uct_time_budget_identical_across_host_threads_and_pinned() {
+    assert_identical_and_pinned(
+        "wu-uct (time)",
+        SearchBudget::VirtualTime(SimTime::from_millis(10)),
+        "Some(ReversiMove(44))/s1536/i12/e9474448/v1536/w4649896246515859456",
+        |t| {
+            Box::new(WuUctSearcher::new(
+                cfg(62),
+                device(t),
+                LaunchConfig::new(4, 32),
+            ))
+        },
+    );
+}
+
+#[test]
+fn bounded_wu_uct_identical_across_host_threads_and_pinned() {
+    // Capacity-capped shared tree: eviction must skip in-flight nodes and
+    // stay a pure function of the touch order.
+    assert_identical_and_pinned(
+        "bounded wu-uct",
+        SearchBudget::Iterations(100),
+        "Some(ReversiMove(37))/s12800/i100/e78000802/v12800/w4663382856142159872",
+        |t| {
+            Box::new(WuUctSearcher::new(
+                cfg(63).with_tree_capacity(64),
+                device(t),
+                LaunchConfig::new(4, 32),
+            ))
+        },
+    );
+}
+
+#[test]
+fn wu_uct_with_faults_identical_across_host_threads_and_pinned() {
+    // The whole ladder — hang, retry, degrade, voided blocks — rolls
+    // in-flight counts back identically on every host-thread count.
+    assert_identical_and_pinned(
+        "wu-uct+faults",
+        SearchBudget::Iterations(8),
+        "Some(ReversiMove(37))/s960/i8/e9259916/v960/w4646404197586042880",
+        |t| {
+            Box::new(WuUctSearcher::new(
+                cfg(64).with_faults(mixed_plan(49)),
+                device(t),
+                LaunchConfig::new(4, 32),
+            ))
+        },
+    );
+}
+
+#[test]
+fn pipelined_identical_across_host_threads() {
+    assert_reports_identical("pipelined", SearchBudget::Iterations(6), |t| {
+        Box::new(PipelinedSearcher::new(
+            cfg(65),
+            device(t),
+            LaunchConfig::new(4, 32),
+        ))
+    });
+}
+
+#[test]
+fn pipelined_time_budget_identical_across_host_threads() {
+    assert_reports_identical(
+        "pipelined (time)",
+        SearchBudget::VirtualTime(SimTime::from_millis(10)),
+        |t| {
+            Box::new(PipelinedSearcher::new(
+                cfg(66),
+                device(t),
+                LaunchConfig::new(4, 32),
+            ))
+        },
+    );
+}
+
+#[test]
+fn bounded_pipelined_identical_across_host_threads() {
+    assert_reports_identical("bounded pipelined", SearchBudget::Iterations(100), |t| {
+        Box::new(PipelinedSearcher::new(
+            cfg(67).with_tree_capacity(64),
+            device(t),
+            LaunchConfig::new(4, 32),
+        ))
+    });
+}
+
+#[test]
+fn pipelined_with_faults_identical_across_host_threads() {
+    assert_reports_identical("pipelined+faults", SearchBudget::Iterations(8), |t| {
+        Box::new(PipelinedSearcher::new(
+            cfg(68).with_faults(mixed_plan(50)),
+            device(t),
+            LaunchConfig::new(4, 32),
+        ))
+    });
+}
+
 #[test]
 fn multi_node_cpu_identical_across_runs() {
     // Worker split is internal here; determinism is run-to-run.

@@ -21,8 +21,18 @@ Usage:
                                  and — with --baseline — a no-regression
                                  gate on the sequential search record's
                                  playouts_per_sec
-          fault_matrix.json      every cell degraded gracefully
+          fault_matrix.json      every cell degraded gracefully; the
+                                 leading roster meta-record names every
+                                 scheme and fault class and the grid must
+                                 cover it exactly (each class x scheme
+                                 once, in roster order)
           fault_matrix_hex11.json  same matrix on Hex 11x11
+          frontier.json          batch-width x scheme frontier: per-cell
+                                 phase ledgers exact, arena win ratios in
+                                 [0, 1], and at every width >= 64 WU-UCT
+                                 must match block-parallel strength
+                                 (win_ratio >= block_parallel's) while
+                                 keeping virtual throughput within 10%
           serve.json             multi-session serving: per-move phase
                                  ledgers exact, sessions-per-launch > 1,
                                  batched speedup gate (>= 1.5x vs solo),
@@ -439,13 +449,32 @@ def check_throughput(path, baseline=None, tolerance=DEFAULT_BASELINE_TOLERANCE):
     print(msg)
 
 
+def split_roster(rec, field, where):
+    """One comma-joined roster field -> its ordered name list."""
+    names = [n for n in rec.get(field, "").split(",") if n]
+    if not names:
+        fail(f"{where}: roster field {field!r} missing or empty")
+    if len(set(names)) != len(names):
+        fail(f"{where}: roster field {field!r} has duplicates: {names}")
+    return names
+
+
 def check_fault_matrix(path):
     data = json.load(open(path))
     if not data:
+        fail(f"{path}: no records")
+    roster = data[0]
+    if roster.get("kind") != "roster":
+        fail(f"{path}: first record must be the roster meta-record")
+    schemes = split_roster(roster, "schemes", f"{path}[0]")
+    classes_order = split_roster(roster, "fault_classes", f"{path}[0]")
+    cells = data[1:]
+    if not cells:
         fail(f"{path}: no cells")
     classes = {}
-    for i, rec in enumerate(data):
-        where = f"{path}[{i}] ({rec.get('scheme', '?')}/{rec.get('fault_class', '?')})"
+    grid = []
+    for i, rec in enumerate(cells):
+        where = f"{path}[{i + 1}] ({rec.get('scheme', '?')}/{rec.get('fault_class', '?')})"
         check_phase_ledger(rec, where)
         if not rec.get("best_move"):
             fail(f"{where}: cell produced no best move")
@@ -454,9 +483,21 @@ def check_fault_matrix(path):
         for f in WALL_FIELDS:
             if f in rec:
                 fail(f"{where}: wall-clock field {f!r} breaks determinism diffing")
+        grid.append((rec["fault_class"], rec["scheme"]))
         cls = classes.setdefault(rec["fault_class"], {"cells": 0, "injected": 0})
         cls["cells"] += 1
         cls["injected"] += rec["faults_injected"]
+    # The grid must cover the roster exactly: each class x scheme once,
+    # class-outer scheme-inner, in roster order.
+    expected = [(c, s) for c in classes_order for s in schemes]
+    if grid != expected:
+        missing = sorted(set(expected) - set(grid))
+        extra = sorted(set(grid) - set(expected))
+        fail(
+            f"{path}: cells do not match the roster grid"
+            f" ({len(grid)} cells vs {len(expected)} expected;"
+            f" missing {missing[:5]}, extra {extra[:5]}, or misordered)"
+        )
     if "none" not in classes:
         fail(f"{path}: missing the zero-fault baseline class")
     if classes["none"]["injected"] != 0:
@@ -465,8 +506,9 @@ def check_fault_matrix(path):
         if name != "none" and cls["injected"] == 0:
             fail(f"{path}: fault class {name!r} never injected in any cell")
     print(
-        f"check_bench: OK: {path}: {len(data)} cells over"
-        f" {len(classes)} fault classes, all degraded gracefully"
+        f"check_bench: OK: {path}: {len(cells)} cells cover the roster"
+        f" ({len(classes_order)} fault classes x {len(schemes)} schemes),"
+        " all degraded gracefully"
     )
 
 
@@ -678,6 +720,102 @@ def check_fleet(path):
     )
 
 
+# WU-UCT pays per-wave correction bookkeeping on one shared tree; the
+# acceptance line says that overhead must stay within 10% of plain
+# block-parallel virtual throughput while matching its arena strength at
+# every width >= the gate width (ISSUE 10 / DESIGN.md §16).
+FRONTIER_GATE_WIDTH = 64
+MIN_FRONTIER_THROUGHPUT_RATIO = 0.9
+FRONTIER_CELL_FIELDS = [
+    "blocks",
+    "threads_per_block",
+    "budget_ns",
+    "games",
+    "win_ratio",
+    "sims_per_second",
+    "candidate_sims",
+    "opponent_sims",
+]
+
+
+def check_frontier(path):
+    """Batch-width x scheme frontier artifact: a roster meta-record, one
+    cell per (width, scheme) with an exact phase ledger and an arena win
+    ratio vs sequential at equal virtual budget, and the WU-UCT strength /
+    throughput gates at every width >= the gate width."""
+    data = json.load(open(path))
+    if not data:
+        fail(f"{path}: no records")
+    roster = data[0]
+    if roster.get("kind") != "roster":
+        fail(f"{path}: first record must be the roster meta-record")
+    schemes = split_roster(roster, "schemes", f"{path}[0]")
+    widths = [int(w) for w in split_roster(roster, "widths", f"{path}[0]")]
+    for scheme in ("block_parallel", "wu_uct", "pipelined"):
+        if scheme not in schemes:
+            fail(f"{path}: roster lacks scheme {scheme!r}")
+    if not any(w >= FRONTIER_GATE_WIDTH for w in widths):
+        fail(
+            f"{path}: no width >= {FRONTIER_GATE_WIDTH} in {widths}"
+            " (the strength gate needs a wide batch)"
+        )
+    cells = [r for r in data if r.get("kind") == "cell"]
+    summary = next((r for r in data if r.get("kind") == "summary"), None)
+    if summary is None:
+        fail(f"{path}: no summary record")
+    by_cell = {}
+    for i, rec in enumerate(cells):
+        where = f"{path} ({rec.get('scheme', '?')} w{rec.get('blocks', '?')})"
+        check_phase_ledger(rec, where)
+        no_wall_fields(rec, where)
+        for f in FRONTIER_CELL_FIELDS:
+            if f not in rec:
+                fail(f"{where}: missing field {f!r}")
+        if not 0.0 <= rec["win_ratio"] <= 1.0:
+            fail(f"{where}: win_ratio {rec['win_ratio']} out of [0, 1]")
+        if rec["games"] <= 0 or rec["sims_per_second"] <= 0:
+            fail(f"{where}: empty cell (games or sims_per_second not positive)")
+        by_cell[(rec["scheme"], rec["blocks"])] = rec
+    expected = [(s, w) for w in widths for s in schemes]
+    if [(r["scheme"], r["blocks"]) for r in cells] != expected:
+        fail(
+            f"{path}: cells do not match the roster grid"
+            f" ({len(cells)} cells vs {len(expected)} expected, width-outer"
+            " scheme-inner, in roster order)"
+        )
+    for w in widths:
+        if w < FRONTIER_GATE_WIDTH:
+            continue
+        wu, bp = by_cell[("wu_uct", w)], by_cell[("block_parallel", w)]
+        if wu["win_ratio"] < bp["win_ratio"]:
+            fail(
+                f"{path}: width {w}: wu_uct win_ratio {wu['win_ratio']:.3f}"
+                f" < block_parallel {bp['win_ratio']:.3f}"
+                " (the correction must not lose strength at wide batches)"
+            )
+        ratio = wu["sims_per_second"] / bp["sims_per_second"]
+        if ratio < MIN_FRONTIER_THROUGHPUT_RATIO:
+            fail(
+                f"{path}: width {w}: wu_uct virtual throughput only"
+                f" {ratio:.3f}x block_parallel"
+                f" (gate: >= {MIN_FRONTIER_THROUGHPUT_RATIO}x)"
+            )
+    gate_w = max(w for w in widths if w >= FRONTIER_GATE_WIDTH)
+    for f in ("gate_width", "wu_uct_win_ratio", "block_parallel_win_ratio"):
+        if f not in summary:
+            fail(f"{path}: summary lacks {f!r}")
+    if summary["gate_width"] != gate_w:
+        fail(f"{path}: summary gate_width {summary['gate_width']} != {gate_w}")
+    wu, bp = by_cell[("wu_uct", gate_w)], by_cell[("block_parallel", gate_w)]
+    print(
+        f"check_bench: OK: {path}: {len(cells)} cells"
+        f" ({len(widths)} widths x {len(schemes)} schemes); at width"
+        f" {gate_w} wu_uct {wu['win_ratio']:.3f} vs block_parallel"
+        f" {bp['win_ratio']:.3f} win ratio,"
+        f" {wu['sims_per_second'] / bp['sims_per_second']:.3f}x throughput"
+    )
+
+
 def check_divergence(path):
     text = open(path).read()
     if "divergence_report" not in text.splitlines()[0]:
@@ -717,6 +855,7 @@ CHECKS = {
     "BENCH_throughput.json": check_throughput,
     "fault_matrix.json": check_fault_matrix,
     "fault_matrix_hex11.json": check_fault_matrix,
+    "frontier.json": check_frontier,
     "serve.json": check_serve,
     "fleet.json": check_fleet,
     "divergence_report.txt": check_divergence,
